@@ -1,0 +1,77 @@
+"""Shared reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures at
+simulator scale, prints the same rows/series the paper reports, and
+saves the raw numbers under ``benchmarks/results/`` so EXPERIMENTS.md
+can reference them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(text: str = "") -> None:
+    """Print to the real terminal even under pytest capture."""
+    sys.stderr.write(text + "\n")
+    sys.stderr.flush()
+
+
+def header(title: str) -> None:
+    emit()
+    emit("=" * 78)
+    emit(title)
+    emit("=" * 78)
+
+
+def table(rows: Sequence[dict], columns: Sequence[str] = None) -> None:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        emit("(no rows)")
+        return
+    if columns is None:
+        columns = list(rows[0].keys())
+    formatted: List[List[str]] = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in formatted))
+        for i, col in enumerate(columns)
+    ]
+    emit("  ".join(col.ljust(w) for col, w in zip(columns, widths)))
+    emit("  ".join("-" * w for w in widths))
+    for line in formatted:
+        emit("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e6:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def save_json(name: str, payload) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=_jsonable)
+    return path
+
+
+def _jsonable(obj):
+    import numpy as np
+
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    return str(obj)

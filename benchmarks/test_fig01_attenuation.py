@@ -1,0 +1,40 @@
+"""Figure 1: packet loss rate vs optical attenuation per transceiver.
+
+Paper claim: as link speed grows through higher baudrate (10G -> 25G)
+and denser modulation (25G -> 50G PAM4), links lose packets at
+progressively lower attenuation, and 50G's mandatory FEC no longer
+compensates.
+"""
+
+from _report import emit, header, save_json, table
+
+from repro.experiments.figures import figure1_attenuation_series
+
+
+def _run():
+    return figure1_attenuation_series()
+
+
+def test_fig01_attenuation(benchmark):
+    series = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header("Figure 1 — packet loss rate vs optical attenuation (1518 B frames)")
+    names = [k for k in series if k != "attenuation_db"]
+    rows = []
+    for index, atten in enumerate(series["attenuation_db"]):
+        if index % 4:
+            continue  # print every 1 dB
+        row = {"atten_dB": atten}
+        for name in names:
+            row[name] = series[name][index]
+        rows.append(row)
+    table(rows)
+    save_json("fig01_attenuation", series)
+
+    # Shape assertions (who fails first, monotonicity).
+    for name in names:
+        values = series[name]
+        assert all(b >= a for a, b in zip(values, values[1:])), name
+    at_12db = {name: series[name][series["attenuation_db"].index(12.0)] for name in names}
+    assert at_12db["50GBASE-SR (FEC)"] > at_12db["25GBASE-SR"] > at_12db["10GBASE-SR"]
+    assert at_12db["25GBASE-SR (FEC)"] < at_12db["25GBASE-SR"]
+    emit("\nshape: 50G(FEC) > 25G > 25G(FEC) > 10G at 12 dB — as in the paper")

@@ -1,0 +1,35 @@
+"""Figure 2: flow-size distributions of six datacenter workloads.
+
+Paper claim: most datacenter flows are short — the majority fit within
+a single packet, which is why tail-loss handling matters so much.
+"""
+
+from _report import emit, header, save_json, table
+
+from repro.experiments.figures import figure2_flow_size_cdfs
+from repro.workloads import GOOGLE_ALL_RPC, META_KEY_VALUE, WORKLOADS
+
+
+def _run():
+    return figure2_flow_size_cdfs()
+
+
+def test_fig02_flow_size_cdfs(benchmark):
+    cdfs = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header("Figure 2 — flow/message size CDFs (fraction of flows <= size)")
+    rows = []
+    for index, size in enumerate(cdfs["size_bytes"]):
+        row = {"size_B": size}
+        for name in WORKLOADS:
+            row[name] = round(cdfs[name][index], 3)
+        rows.append(row)
+    table(rows)
+    save_json("fig02_flowsizes", cdfs)
+
+    single = {name: dist.single_packet_fraction() for name, dist in WORKLOADS.items()}
+    emit("\nsingle-packet fraction per workload: "
+         + ", ".join(f"{k}={v:.2f}" for k, v in single.items()))
+    assert single["Google all RPC"] > 0.8
+    assert single["Meta key-value"] > 0.9
+    # The storage/search workloads are the multi-packet end of Figure 2.
+    assert single["DCTCP web search"] < 0.1

@@ -1,0 +1,71 @@
+"""Figure 9: DCTCP on a 25G link with 1e-3 loss — timeline with and
+without the backpressure mechanism.
+
+Paper claims:
+(a) corruption collapses DCTCP throughput; enabling LinkGuardian
+    restores it to the effective link speed, with the sender-switch
+    queue building to the ECN threshold and the Rx buffer kept small;
+(b) with backpressure disabled the reordering buffer overflows and the
+    flow suffers end-to-end retransmissions ("not considered optional").
+"""
+
+from _report import emit, header, save_json, table
+
+from repro.experiments.timeline import run_timeline
+
+# Simulator-scale phases (the paper runs 14 s; see EXPERIMENTS.md).
+PHASES = dict(clean_ms=6.0, loss_ms=14.0, lg_ms=14.0)
+
+
+def _run():
+    with_bp = run_timeline(
+        "dctcp", rate_gbps=25, loss_rate=1e-3, sample_interval_ns=500_000,
+        **PHASES,
+    )
+    # Figure 9b: backpressure off.  The simulator's recovery is faster
+    # than Tofino recirculation, so the buffer restriction is tightened
+    # (12 KB, ~4 us of 25G arrivals) to reproduce the overflow regime at
+    # this scale.
+    without_bp = run_timeline(
+        "dctcp", rate_gbps=25, loss_rate=1e-3, sample_interval_ns=500_000,
+        backpressure=False, rx_buffer_capacity=12_000, **PHASES,
+    )
+    return with_bp, without_bp
+
+
+def test_fig09_dctcp_timeline(benchmark):
+    with_bp, without_bp = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header("Figure 9 — DCTCP timeline on 25G, loss 1e-3")
+    phases = [
+        ("clean", 2.0, with_bp.corruption_start_ms),
+        ("loss (LG off)", with_bp.corruption_start_ms + 2, with_bp.lg_start_ms),
+        ("LG on", with_bp.lg_start_ms + 4, with_bp.times_ms[-1]),
+    ]
+    rows = []
+    for label, start, end in phases:
+        rows.append({
+            "phase": label,
+            "sendrate_Gbps(a)": round(with_bp.phase_mean_rate(start, end), 2),
+            "sendrate_Gbps(b,noBP)": round(without_bp.phase_mean_rate(start, end), 2),
+        })
+    table(rows)
+    emit(f"(a) with backpressure   : e2e retx {with_bp.e2e_retx[-1]}, "
+         f"rx-buffer overflows {with_bp.overflow_drops}")
+    emit(f"(b) without backpressure: e2e retx {without_bp.e2e_retx[-1]}, "
+         f"rx-buffer overflows {without_bp.overflow_drops}")
+    save_json("fig09_timeline", {
+        "with_bp": with_bp.__dict__, "without_bp": without_bp.__dict__,
+    })
+
+    clean = with_bp.phase_mean_rate(2.0, with_bp.corruption_start_ms)
+    lossy = with_bp.phase_mean_rate(with_bp.corruption_start_ms + 2, with_bp.lg_start_ms)
+    guarded = with_bp.phase_mean_rate(with_bp.lg_start_ms + 4, with_bp.times_ms[-1])
+    # Shape: loss hurts, LG restores to ~effective link speed.
+    assert lossy < clean * 0.95
+    assert guarded > lossy
+    assert guarded > clean * 0.9
+    # With backpressure the buffer never overflows; without it, it does
+    # and end-to-end retransmissions appear.
+    assert with_bp.overflow_drops == 0
+    assert without_bp.overflow_drops > 0
+    assert without_bp.e2e_retx[-1] > with_bp.e2e_retx[-1]

@@ -1,0 +1,58 @@
+"""Figure 11: top-5% FCTs for 24,387 B (17-packet) flows on 100G.
+
+Paper claims: LinkGuardian tracks the no-loss curve for DCTCP, BBR and
+RDMA.  LinkGuardianNB performs nearly as well for the TCPs (reordering
+is tolerated) but for RDMA it only removes the RTO tail — go-back-N has
+no reordering window, so out-of-order recovery still costs a go-back.
+"""
+
+from _report import emit, header, save_json, table
+
+from repro.experiments.fct import run_fct_experiment
+
+TRIALS = 900
+LOSS = 5e-3
+SIZE = 24_387
+
+
+def _run():
+    results = {}
+    for transport in ("dctcp", "bbr", "rdma"):
+        for scenario in ("noloss", "loss", "lg", "lgnb"):
+            results[(transport, scenario)] = run_fct_experiment(
+                transport=transport, flow_size=SIZE, n_trials=TRIALS,
+                scenario=scenario, loss_rate=LOSS, seed=12,
+            )
+    return results
+
+
+def test_fig11_multi_packet_fct(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header(f"Figure 11 — {SIZE} B flows on 100G ({TRIALS} trials, loss {LOSS:g})")
+    table([r.summary() for r in results.values()])
+    save_json("fig11_fct_multi_packet", {
+        f"{t}-{s}": r.summary() for (t, s), r in results.items()
+    })
+
+    for transport in ("dctcp", "bbr", "rdma"):
+        clean = results[(transport, "noloss")]
+        loss = results[(transport, "loss")]
+        lg = results[(transport, "lg")]
+        nb = results[(transport, "lgnb")]
+        emit(f"{transport}: p99.9 loss/lg = {loss.pct(99.9) / lg.pct(99.9):.1f}x, "
+             f"lgnb/lg = {nb.pct(99.9) / lg.pct(99.9):.2f}x")
+        # Ordered LG hugs the no-loss curve at the 99th percentile.
+        assert lg.pct(99) < 1.5 * clean.pct(99)
+        # The unprotected tail is far worse than LG's.
+        assert loss.pct(99.9) > 3 * lg.pct(99.9)
+        # NB also removes the RTO tail (no >=1ms FCTs from tail loss).
+        assert nb.pct(99.9) < loss.pct(99.9)
+
+    # RDMA pays for reordering under NB: the NB p99 exceeds ordered-LG's
+    # p99 by more than for the TCPs (go-back-N, Figure 11c).
+    rdma_penalty = (results[("rdma", "lgnb")].pct(99)
+                    / results[("rdma", "lg")].pct(99))
+    dctcp_penalty = (results[("dctcp", "lgnb")].pct(99)
+                     / results[("dctcp", "lg")].pct(99))
+    emit(f"NB-vs-LG p99 penalty: rdma {rdma_penalty:.2f}x, dctcp {dctcp_penalty:.2f}x")
+    assert rdma_penalty >= dctcp_penalty - 0.05

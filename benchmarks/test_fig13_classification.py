@@ -1,0 +1,47 @@
+"""Figure 13: why out-of-order recovery works for TCP.
+
+Classifies the 24,387 B DCTCP flows "affected" by LinkGuardianNB's
+out-of-order recovery (those that saw a SACK) through the paper's
+decision tree.  Paper claims: the overwhelming majority land in groups
+A-C, whose FCT is unaffected; only the small group D (cwnd cut while
+bytes were still pending) pays, and its penalty is bounded by the few
+MSS that were pending.
+"""
+
+from _report import emit, header, save_json, table
+
+from repro.experiments.fct import run_fct_experiment
+
+TRIALS = 1_500
+LOSS = 1e-2  # inflated so hundreds of flows are affected
+SIZE = 24_387
+
+
+def _run():
+    return run_fct_experiment(
+        transport="dctcp", flow_size=SIZE, n_trials=TRIALS,
+        scenario="lgnb", loss_rate=LOSS, seed=14,
+    )
+
+
+def test_fig13_classification(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    tree = result.classification()
+    header(f"Figure 13 — classification of affected {SIZE} B DCTCP flows "
+           f"under LG_NB ({TRIALS} trials, loss {LOSS:g})")
+    table([tree.as_dict()])
+    save_json("fig13_classification", tree.as_dict())
+
+    emit(f"\naffected flows: {tree.affected} "
+         f"({tree.affected / max(1, tree.total):.1%} of trials)")
+    groups = tree.group_a + tree.group_b + tree.group_c + tree.group_d
+    benign = tree.group_a + tree.group_b + tree.group_c
+    emit(f"benign (A+B+C): {benign}/{groups}; paying group D: {tree.group_d}")
+
+    assert tree.affected > 50, "need enough affected flows to classify"
+    assert groups == tree.affected  # the tree partitions affected flows
+    # Paper shape: group D is a minority of affected flows.
+    assert tree.group_d < 0.5 * tree.affected
+    # The flow must still complete fast despite reordering: no RTO tails.
+    rto_flows = sum(1 for r in result.records if r.timeouts)
+    assert rto_flows <= 0.01 * TRIALS

@@ -1,0 +1,62 @@
+"""Figure 14: LinkGuardian's packet-buffer usage.
+
+Paper claims: at 25G the TX buffer stays within a few KB (~2 MTU) and
+the RX (reordering) buffer within ~60 KB; at 100G both stay under
+~90 KB; LG_NB needs no RX buffer and (at 100G) ~3x less TX buffer.
+Negligible against the 16-42 MB of buffer in datacenter switches.
+"""
+
+from _report import emit, header, save_json, table
+
+from repro.experiments.stress import run_stress_test
+
+DURATION_MS = {25: 6.0, 100: 3.0}
+
+
+def _run():
+    rows = []
+    for rate_gbps in (25, 100):
+        for loss in (1e-5, 1e-4, 1e-3):
+            for ordered in (True, False):
+                rows.append(run_stress_test(
+                    rate_gbps=rate_gbps, loss_rate=loss, ordered=ordered,
+                    duration_ms=DURATION_MS[rate_gbps], seed=16,
+                ))
+    return rows
+
+
+def test_fig14_buffer_usage(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header("Figure 14 — TX/RX buffer usage (time-weighted, line-rate stress)")
+    printable = []
+    for r in rows:
+        printable.append({
+            "link": f"{r.rate_gbps:g}G",
+            "loss": r.loss_rate,
+            "mode": "LG" if r.ordered else "LG_NB",
+            "tx_p50_KB": r.tx_buffer["p50"] / 1e3,
+            "tx_max_KB": r.tx_buffer["max"] / 1e3,
+            "rx_p50_KB": r.rx_buffer["p50"] / 1e3,
+            "rx_max_KB": r.rx_buffer["max"] / 1e3,
+        })
+    table(printable)
+    save_json("fig14_buffer_usage", printable)
+
+    for r in rows:
+        # Everything fits in a tiny corner of a datacenter switch buffer.
+        assert r.tx_buffer["max"] < 200_000
+        assert r.rx_buffer["max"] < 200_000
+        if not r.ordered:
+            assert r.rx_buffer["max"] == 0  # NB mode never buffers
+
+    def max_tx(rate, ordered):
+        return max(
+            r.tx_buffer["max"] for r in rows
+            if r.rate_gbps == rate and r.ordered == ordered
+        )
+
+    # Ordered LG's backpressure can delay ACKs -> larger TX buffer than NB.
+    emit(f"\n100G max TX: LG {max_tx(100, True) / 1e3:.1f} KB vs "
+         f"LG_NB {max_tx(100, False) / 1e3:.1f} KB "
+         f"(paper: 90 KB vs 24.4 KB)")
+    assert max_tx(100, True) >= max_tx(100, False)

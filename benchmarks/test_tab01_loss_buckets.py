@@ -1,0 +1,24 @@
+"""Table 1: corruption loss-rate buckets observed in Microsoft datacenters.
+
+The trace generator must draw link loss rates matching the published
+bucket distribution — the input to every deployment-scale result.
+"""
+
+import pytest
+
+from _report import header, save_json, table
+
+from repro.experiments.figures import table1_loss_buckets
+
+
+def _run():
+    return table1_loss_buckets(n_samples=200_000)
+
+
+def test_tab01_loss_buckets(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header("Table 1 — corruption loss-rate buckets (published vs sampled)")
+    table(rows)
+    save_json("tab01_loss_buckets", rows)
+    for row in rows:
+        assert row["sampled_%"] == pytest.approx(row["published_%"], abs=0.5)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: mask a corruption packet loss with LinkGuardian.
+
+Builds the paper's two-switch testbed (sw2 -> sw6 over a corrupting
+100G optical link), sends a burst of packets through it with a
+deterministic corruption of packet #10, and shows LinkGuardian
+detecting, retransmitting and re-ordering the loss — invisibly to the
+receiver, in a few microseconds, with no timeout.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.engine import Simulator
+from repro.linkguardian.config import LinkGuardianConfig
+from repro.linkguardian.protocol import ProtectedLink
+from repro.packets.packet import Packet
+from repro.phy.loss import ScriptedLoss
+from repro.switchsim.link import Link
+from repro.switchsim.switch import Switch
+from repro.units import MS, MTU_FRAME, gbps, serialization_ns
+
+
+def main() -> None:
+    sim = Simulator()
+    sw2 = Switch(sim, "sw2")
+    sw6 = Switch(sim, "sw6")
+
+    # The corrupting link: drop exactly the 10th data frame.
+    plink = ProtectedLink(
+        sim, sw2, sw6,
+        rate_bps=gbps(100),
+        config=LinkGuardianConfig(ordered=True),
+        loss=ScriptedLoss({10}),
+    )
+
+    # A sink behind the receiver switch collecting what gets through.
+    delivered = []
+    sw6.add_port("sink", gbps(100), Link(sim, 10, receiver=delivered.append))
+    sw6.set_route("server", "sink")
+    sw2.set_route("server", plink.forward_port_name)
+
+    # corruptd would normally do this; here we activate directly with the
+    # measured loss rate, which sizes the retransmit copies (Equation 2).
+    n_copies = plink.activate(actual_loss_rate=1e-4)
+    print(f"LinkGuardian active, retransmitting N={n_copies} copies per loss")
+
+    # Send 50 MTU frames at line rate.
+    spacing = serialization_ns(MTU_FRAME, gbps(100))
+    for index in range(50):
+        packet = Packet(size=MTU_FRAME, dst="server", flow_id=index)
+        sim.schedule_at(index * spacing, sw2.forward, packet)
+    sim.run(until=1 * MS)
+
+    stats = plink.summary()
+    order = [p.flow_id for p in delivered]
+    print(f"\ndelivered : {len(delivered)}/50 packets")
+    print(f"in order  : {order == sorted(order)}")
+    print(f"losses    : {stats['loss_events']} detected, "
+          f"{stats['recovered']} recovered, {stats['timeouts']} timed out")
+    delays = plink.receiver.stats.retx_delays_ns
+    if delays:
+        print(f"recovery  : {delays[0] / 1e3:.2f} us after detection "
+              f"(sub-RTT: a datacenter RTT is ~30 us)")
+    print(f"tx buffer : peak {stats['tx_buffer']['max'] / 1e3:.1f} KB, "
+          f"rx buffer: peak {stats['rx_buffer']['max'] / 1e3:.1f} KB")
+    assert order == list(range(50)), "LinkGuardian must mask the loss in order"
+    print("\nThe transport layer never saw the corruption loss.")
+
+
+if __name__ == "__main__":
+    main()

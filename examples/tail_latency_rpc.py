@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Tail latency of datacenter RPCs over a corrupting link.
+
+The paper's motivating workload: most datacenter flows fit in a single
+packet (143 B is the most frequent Google RPC size), so a corruption
+loss is usually a *tail* loss that costs the transport a full
+retransmission timeout — 1 ms where the healthy RTT is ~30 us.
+
+This example measures the FCT distribution of 143 B DCTCP and RDMA
+WRITE messages over a link with an (inflated, so a small run resolves
+the tail) corruption loss rate, with and without LinkGuardian — the
+Figure 10 experiment at example scale.
+
+Run:  python examples/tail_latency_rpc.py
+"""
+
+from repro.experiments.fct import run_fct_experiment
+
+TRIALS = 800
+LOSS_RATE = 2e-2  # inflated from the paper's 1e-3 so ~15 trials are hit
+
+
+def main() -> None:
+    print(f"143 B messages, {TRIALS} trials, loss rate {LOSS_RATE:g}")
+    print(f"{'transport':9s} {'scenario':8s} {'p50 (us)':>9s} {'p99 (us)':>9s} "
+          f"{'p99.9 (us)':>11s} {'max (us)':>9s}")
+    for transport in ("dctcp", "rdma"):
+        for scenario in ("noloss", "loss", "lg", "lgnb"):
+            result = run_fct_experiment(
+                transport=transport,
+                flow_size=143,
+                n_trials=TRIALS,
+                scenario=scenario,
+                loss_rate=LOSS_RATE,
+                seed=4,
+            )
+            fcts = result.fcts_us
+            print(f"{transport:9s} {scenario:8s} {result.pct(50):9.1f} "
+                  f"{result.pct(99):9.1f} {result.pct(99.9):11.1f} "
+                  f"{fcts.max():9.1f}")
+        loss = run_fct_experiment(transport, 143, TRIALS, "loss",
+                                  loss_rate=LOSS_RATE, seed=4)
+        lg = run_fct_experiment(transport, 143, TRIALS, "lg",
+                                loss_rate=LOSS_RATE, seed=4)
+        gain = loss.pct(99.9) / lg.pct(99.9)
+        print(f"--> {transport}: LinkGuardian improves p99.9 FCT by "
+              f"{gain:.0f}x (paper: 51x TCP / 66x RDMA at 1e-3)\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Workload-driven FCT study: Google RPC traffic over a corrupting link.
+
+Instead of back-to-back fixed-size trials, this example replays an
+open-loop Poisson workload drawn from the Google all-RPC flow-size
+distribution (Figure 2) — many concurrent DCTCP flows sharing the
+protected link at a configurable offered load — and compares the FCT
+distribution with and without LinkGuardian.
+
+Run:  python examples/workload_fct_study.py
+"""
+
+import numpy as np
+
+from repro.experiments.testbed import build_testbed
+from repro.transport.congestion import DctcpCC
+from repro.transport.tcp import TcpReceiver, TcpSender
+from repro.units import MS
+from repro.workloads import GOOGLE_ALL_RPC, PoissonFlowGenerator
+
+N_FLOWS = 600
+LOAD = 0.25
+LOSS_RATE = 1e-2  # inflated so a small run resolves the tail
+
+
+def run_case(lg_active: bool, seed: int = 8):
+    testbed = build_testbed(
+        rate_gbps=25, loss_rate=LOSS_RATE, lg_active=lg_active, seed=seed,
+    )
+    src = testbed.add_host("h4", "tx")
+    dst = testbed.add_host("h8", "rx")
+    generator = PoissonFlowGenerator(
+        GOOGLE_ALL_RPC, testbed.plink.rate_bps, LOAD,
+        testbed.rng.stream("workload"),
+    )
+    arrivals = generator.generate(N_FLOWS, start_id=1)
+    done = []
+    sizes = {a.flow_id: a.size_bytes for a in arrivals}
+    for arrival in arrivals:
+        sender = TcpSender(
+            testbed.sim, src, "h8", arrival.flow_id, arrival.size_bytes,
+            cc=DctcpCC(), on_complete=done.append,
+        )
+        TcpReceiver(testbed.sim, dst, "h4", arrival.flow_id)
+        testbed.sim.schedule_at(arrival.time_ns, sender.start)
+    testbed.sim.run(until=arrivals[-1].time_ns + 400 * MS)
+    fcts = np.array([r.fct_ns / 1e3 for r in done if r.completed])
+    # FCT slowdown: completion time relative to a loss-free ideal for the
+    # flow's size (base RTT + serialization), the standard workload metric.
+    slowdowns = np.array([
+        r.fct_ns / (30_000 + sizes[r.flow_id] * 8 / 25)
+        for r in done if r.completed
+    ])
+    return fcts, slowdowns
+
+
+def main() -> None:
+    print(f"{N_FLOWS} Poisson flows, Google all-RPC sizes, load {LOAD:.0%}, "
+          f"25G link, loss {LOSS_RATE:g}\n")
+    print(f"{'case':12s} {'done':>5s} {'p50 (us)':>9s} {'p99 (us)':>9s} "
+          f"{'p99.9 (us)':>11s} {'p99.9 slowdown':>15s}")
+    results = {}
+    for label, lg_active in (("loss only", False), ("with LG", True)):
+        fcts, slowdowns = run_case(lg_active)
+        results[label] = slowdowns
+        print(f"{label:12s} {len(fcts):5d} {np.percentile(fcts, 50):9.1f} "
+              f"{np.percentile(fcts, 99):9.1f} "
+              f"{np.percentile(fcts, 99.9):11.1f} "
+              f"{np.percentile(slowdowns, 99.9):15.1f}x")
+    gain = (np.percentile(results["loss only"], 99.9)
+            / np.percentile(results["with LG"], 99.9))
+    print(f"\nLinkGuardian improves the p99.9 FCT *slowdown* of the RPC "
+          f"workload by {gain:.0f}x — the corrupted packets were almost "
+          f"always tail packets of (mostly single-packet) flows whose "
+          f"unprotected recovery needs a ~1 ms RTO.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""LinkGuardian (SIGCOMM 2023) reproduction.
+
+A discrete-event-simulation reproduction of "Masking Corruption Packet
+Losses in Datacenter Networks with Link-local Retransmission" by Joshi
+et al., including the LinkGuardian protocol (ordered and non-blocking),
+the switch/link/PHY substrates it runs on, the transports it is
+evaluated with, and the CorrOpt-based large-scale deployment study.
+"""
+
+from .core.engine import Simulator
+from .core.rng import RngFactory
+from .linkguardian.config import LinkGuardianConfig, retx_copies
+from .linkguardian.protocol import ProtectedLink
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "RngFactory",
+    "LinkGuardianConfig",
+    "ProtectedLink",
+    "retx_copies",
+]

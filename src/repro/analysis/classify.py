@@ -1,0 +1,79 @@
+"""Figure 13 flow classification: why out-of-order recovery works for TCP.
+
+The paper classifies the DCTCP flows "affected" by LinkGuardianNB's
+out-of-order recovery (those that received at least one SACK) into four
+groups along two conditions:
+
+* **SACK'ed bytes > 2 MSS?**  Below that, the dupack threshold is never
+  reached and cwnd is not cut — group A (retransmission landed inside
+  TCP's reordering window, often thanks to TSO transmission gaps) or
+  group B (a tail loss recovered before any cut mattered).
+* For flows that did cross 2 MSS: **pendingTxBytes > 0?**  If the sender
+  had already transmitted everything when the cut arrived, the FCT is
+  unaffected — group C.  Only group D (pending bytes at cut time) pays
+  a real FCT penalty, bounded by how much was pending.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Set
+
+from ..transport.flow import FlowRecord
+
+__all__ = ["FlowClassification", "classify_flows"]
+
+
+@dataclass
+class FlowClassification:
+    """Counts for the Figure 13 decision tree."""
+
+    total: int = 0
+    affected: int = 0          # received at least one SACK
+    le_2mss: int = 0           # SACK'ed bytes <= 2 MSS
+    gt_2mss: int = 0
+    group_a: int = 0           # <=2MSS, not a tail loss
+    group_b: int = 0           # <=2MSS, tail loss
+    group_c: int = 0           # >2MSS but nothing left to send
+    group_d: int = 0           # >2MSS with pending bytes (FCT penalty)
+
+    def as_dict(self) -> dict:
+        return {
+            "total": self.total, "affected": self.affected,
+            "le_2mss": self.le_2mss, "gt_2mss": self.gt_2mss,
+            "A": self.group_a, "B": self.group_b,
+            "C": self.group_c, "D": self.group_d,
+        }
+
+
+def classify_flows(
+    records: Sequence[FlowRecord],
+    tail_loss_flow_ids: Iterable[int] = (),
+    mss: int = 1460,
+) -> FlowClassification:
+    """Apply the Figure 13 decision tree to completed flow records.
+
+    Args:
+        records: per-flow transport diagnostics.
+        tail_loss_flow_ids: flows whose corruption loss hit one of the
+            last 3 packets (observed at the link by the experiment).
+    """
+    tails: Set[int] = set(tail_loss_flow_ids)
+    result = FlowClassification(total=len(records))
+    for flow in records:
+        if not flow.saw_sack:
+            continue
+        result.affected += 1
+        if flow.max_sack_burst <= 2 * mss:
+            result.le_2mss += 1
+            if flow.flow_id in tails:
+                result.group_b += 1
+            else:
+                result.group_a += 1
+        else:
+            result.gt_2mss += 1
+            if flow.pending_bytes_at_reduction > 0:
+                result.group_d += 1
+            else:
+                result.group_c += 1
+    return result

@@ -1,0 +1,39 @@
+"""Plain-text table rendering for CLI and benchmark output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["format_value", "render_table"]
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e6:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(rows: Sequence[dict], columns: Sequence[str] = None) -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    formatted: List[List[str]] = [
+        [format_value(row.get(col, "")) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(line[i]) for line in formatted))
+        for i, col in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(col.ljust(w) for col, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for line in formatted:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)

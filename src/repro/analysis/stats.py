@@ -1,0 +1,104 @@
+"""Measurement helpers shared by the evaluation harness.
+
+* :class:`OccupancyTracker` — time-weighted statistics of a quantity that
+  changes at discrete instants (queue/buffer occupancy).  Figure 14's
+  buffer-usage whiskers are time-weighted percentiles of exactly this.
+* :func:`percentile` / :func:`cdf_points` — plain empirical percentiles
+  and CDF series for FCT plots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["OccupancyTracker", "percentile", "cdf_points", "tail_percentiles"]
+
+
+class OccupancyTracker:
+    """Time-weighted distribution of a piecewise-constant signal."""
+
+    def __init__(self, start_time: int = 0, initial: int = 0) -> None:
+        self._last_time = int(start_time)
+        self._value = int(initial)
+        self._samples: List[Tuple[int, int]] = []  # (value, held_ns)
+        self.max_value = int(initial)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def update(self, now: int, value: int) -> None:
+        """Record that the signal changed to ``value`` at time ``now``."""
+        held = int(now) - self._last_time
+        if held > 0:
+            self._samples.append((self._value, held))
+        self._last_time = int(now)
+        self._value = int(value)
+        if value > self.max_value:
+            self.max_value = int(value)
+
+    def add(self, now: int, delta: int) -> None:
+        self.update(now, self._value + delta)
+
+    def finish(self, now: int) -> None:
+        """Close the last interval before reading statistics."""
+        self.update(now, self._value)
+
+    def _arrays(self):
+        if not self._samples:
+            return np.array([self._value]), np.array([1.0])
+        values = np.array([v for v, _ in self._samples], dtype=np.float64)
+        weights = np.array([w for _, w in self._samples], dtype=np.float64)
+        return values, weights
+
+    def time_weighted_mean(self) -> float:
+        values, weights = self._arrays()
+        return float(np.average(values, weights=weights))
+
+    def time_weighted_percentile(self, q: float) -> float:
+        """Value below which the signal sat for ``q`` percent of the time."""
+        values, weights = self._arrays()
+        order = np.argsort(values)
+        values, weights = values[order], weights[order]
+        cum = np.cumsum(weights)
+        cutoff = q / 100.0 * cum[-1]
+        index = int(np.searchsorted(cum, cutoff))
+        return float(values[min(index, len(values) - 1)])
+
+    def summary(self) -> dict:
+        return {
+            "mean": self.time_weighted_mean(),
+            "p25": self.time_weighted_percentile(25),
+            "p50": self.time_weighted_percentile(50),
+            "p75": self.time_weighted_percentile(75),
+            "max": float(self.max_value),
+        }
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Empirical percentile (linear interpolation), NaN-safe for empty input."""
+    if len(values) == 0:
+        return float("nan")
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def tail_percentiles(values: Sequence[float]) -> dict:
+    """The tail cuts the paper tabulates (Table 2 and the FCT text)."""
+    return {
+        "p50": percentile(values, 50),
+        "p99": percentile(values, 99),
+        "p99.9": percentile(values, 99.9),
+        "p99.99": percentile(values, 99.99),
+        "p99.999": percentile(values, 99.999),
+    }
+
+
+def cdf_points(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted values and cumulative fractions for plotting a CDF."""
+    data = np.sort(np.asarray(values, dtype=np.float64))
+    if data.size == 0:
+        return data, data
+    fractions = np.arange(1, data.size + 1, dtype=np.float64) / data.size
+    return data, fractions

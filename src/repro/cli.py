@@ -1,0 +1,355 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro list                       # show available experiments
+    python -m repro fig08 --duration-ms 3      # one figure, custom params
+    python -m repro fig10 --trials 2000
+    python -m repro fig15 --days 120
+
+Each command runs the corresponding experiment at (configurable)
+simulator scale and prints the same rows/series the paper reports.  The
+benchmark suite (``pytest benchmarks/ --benchmark-only``) runs the same
+experiments with shape assertions attached.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis.report import render_table
+
+__all__ = ["main"]
+
+
+def _print(text: str = "") -> None:
+    sys.stdout.write(text + "\n")
+
+
+def cmd_fig01(args) -> None:
+    from .experiments.figures import figure1_attenuation_series
+
+    series = figure1_attenuation_series()
+    names = [k for k in series if k != "attenuation_db"]
+    rows = []
+    for index, atten in enumerate(series["attenuation_db"]):
+        if index % 4 == 0:
+            rows.append({"atten_dB": atten, **{n: series[n][index] for n in names}})
+    _print(render_table(rows))
+
+
+def cmd_fig02(args) -> None:
+    from .experiments.figures import figure2_flow_size_cdfs
+    from .workloads import WORKLOADS
+
+    cdfs = figure2_flow_size_cdfs()
+    rows = [
+        {"size_B": size, **{n: round(cdfs[n][i], 3) for n in WORKLOADS}}
+        for i, size in enumerate(cdfs["size_bytes"])
+    ]
+    _print(render_table(rows))
+
+
+def cmd_tab01(args) -> None:
+    from .experiments.figures import table1_loss_buckets
+
+    _print(render_table(table1_loss_buckets()))
+
+
+def cmd_fig08(args) -> None:
+    from .experiments.stress import run_stress_test
+
+    rows = []
+    for rate_gbps in (25, 100):
+        for loss in (1e-5, 1e-4, 1e-3):
+            for ordered in (True, False):
+                result = run_stress_test(
+                    rate_gbps=rate_gbps, loss_rate=loss, ordered=ordered,
+                    duration_ms=args.duration_ms, seed=args.seed,
+                )
+                rows.append(result.row())
+    _print(render_table(rows))
+
+
+def cmd_fig09(args) -> None:
+    from .experiments.timeline import run_timeline
+
+    result = run_timeline(
+        "dctcp", rate_gbps=25, loss_rate=1e-3,
+        clean_ms=args.duration_ms, loss_ms=2 * args.duration_ms,
+        lg_ms=2 * args.duration_ms,
+    )
+    rows = [
+        {"t_ms": round(t, 2), "send_Gbps": round(r, 2), "qdepth_KB": round(q, 1),
+         "rxbuf_KB": round(b, 2), "e2e_retx": int(x)}
+        for t, r, q, b, x in zip(
+            result.times_ms[::4], result.send_rate_gbps[::4],
+            result.qdepth_kb[::4], result.rx_buffer_kb[::4], result.e2e_retx[::4],
+        )
+    ]
+    _print(render_table(rows))
+
+
+def _fct_command(transport_list, size, args, loss=None):
+    from .experiments.fct import run_fct_experiment
+
+    loss = loss if loss is not None else args.loss_rate
+    rows = []
+    for transport in transport_list:
+        for scenario in ("noloss", "loss", "lg", "lgnb"):
+            result = run_fct_experiment(
+                transport=transport, flow_size=size, n_trials=args.trials,
+                scenario=scenario, loss_rate=loss, seed=args.seed,
+            )
+            rows.append(result.summary())
+    _print(render_table(rows))
+
+
+def cmd_fig10(args) -> None:
+    _fct_command(("dctcp", "rdma"), 143, args)
+
+
+def cmd_fig11(args) -> None:
+    _fct_command(("dctcp", "bbr", "rdma"), 24_387, args)
+
+
+def cmd_fig12(args) -> None:
+    args.trials = min(args.trials, 200)
+    _fct_command(("dctcp",), 2_000_000, args, loss=1e-3)
+
+
+def cmd_fig13(args) -> None:
+    from .experiments.fct import run_fct_experiment
+
+    result = run_fct_experiment(
+        transport="dctcp", flow_size=24_387, n_trials=args.trials,
+        scenario="lgnb", loss_rate=args.loss_rate, seed=args.seed,
+    )
+    _print(render_table([result.classification().as_dict()]))
+
+
+def cmd_tab02(args) -> None:
+    from .experiments.mechanisms import run_mechanism_study
+
+    study = run_mechanism_study(n_trials=args.trials, loss_rate=args.loss_rate,
+                                seed=args.seed)
+    rows = [dict(variant=name, **vals) for name, vals in study.items()]
+    _print(render_table(rows, ["variant", "p50", "p99", "p99.9", "p99.99", "trials"]))
+
+
+def cmd_tab03(args) -> None:
+    from .experiments.goodput import run_goodput
+
+    rows = []
+    for loss in (0.0, 1e-5, 1e-4, 1e-3, 1e-2):
+        row = {"loss": loss}
+        for scheme in ("none", "wharf", "lg", "lgnb"):
+            if scheme == "wharf" and loss == 0.0:
+                row[scheme] = "n/a"
+                continue
+            row[scheme] = round(run_goodput(scheme, loss_rate=loss,
+                                            seed=args.seed)["goodput_gbps"], 2)
+        rows.append(row)
+    _print(render_table(rows))
+
+
+def cmd_tab04(args) -> None:
+    from .experiments.stress import run_stress_test
+
+    rows = []
+    for rate_gbps in (25, 100):
+        for loss in (1e-5, 1e-4, 1e-3):
+            result = run_stress_test(rate_gbps=rate_gbps, loss_rate=loss,
+                                     duration_ms=args.duration_ms, seed=args.seed)
+            rows.append({
+                "link": f"{rate_gbps:g}G", "loss": loss,
+                "tx_%pipe": round(result.recirc_overhead_tx_percent, 4),
+                "rx_%pipe": round(result.recirc_overhead_rx_percent, 4),
+            })
+    _print(render_table(rows))
+
+
+def cmd_fig14(args) -> None:
+    from .experiments.stress import run_stress_test
+
+    rows = []
+    for rate_gbps in (25, 100):
+        for loss in (1e-5, 1e-4, 1e-3):
+            for ordered in (True, False):
+                r = run_stress_test(rate_gbps=rate_gbps, loss_rate=loss,
+                                    ordered=ordered,
+                                    duration_ms=args.duration_ms, seed=args.seed)
+                rows.append({
+                    "link": f"{rate_gbps:g}G", "loss": loss,
+                    "mode": "LG" if ordered else "LG_NB",
+                    "tx_max_KB": round(r.tx_buffer["max"] / 1e3, 1),
+                    "rx_max_KB": round(r.rx_buffer["max"] / 1e3, 1),
+                })
+    _print(render_table(rows))
+
+
+def cmd_fig15(args) -> None:
+    from .experiments.deployment import run_deployment_comparison
+
+    for constraint in (0.50, 0.75):
+        comparison = run_deployment_comparison(
+            capacity_constraint=constraint, duration_days=args.days,
+            mttf_hours=args.mttf_hours, seed=args.seed,
+        )
+        _print(f"\ncapacity constraint {constraint:.0%}:")
+        _print(render_table([comparison.summary()]))
+
+
+def cmd_fig16(args) -> None:
+    from .experiments.deployment import run_deployment_comparison
+
+    rows = []
+    for constraint in (0.50, 0.75):
+        comparison = run_deployment_comparison(
+            capacity_constraint=constraint, duration_days=args.days,
+            mttf_hours=args.mttf_hours, seed=args.seed,
+        )
+        gain = comparison.penalty_gain()
+        rows.append({
+            "constraint": f"{constraint:.0%}",
+            "gain=1(%)": round(100 * float((gain <= 1 + 1e-9).mean()), 1),
+            "gain_p50": float(np.median(gain)),
+            "gain_p90": float(np.percentile(gain, 90)),
+            "cap_dec_p99_%": round(float(np.percentile(
+                comparison.capacity_decrease(), 99)), 3),
+        })
+    _print(render_table(rows))
+
+
+def cmd_fig19(args) -> None:
+    from .experiments.stress import run_stress_test
+
+    rows = []
+    for rate_gbps in (25, 100):
+        delays: List[float] = []
+        for loss in (1e-3, 5e-3):
+            result = run_stress_test(rate_gbps=rate_gbps, loss_rate=loss,
+                                     duration_ms=args.duration_ms, seed=args.seed)
+            delays.extend(result.retx_delays_us)
+        data = np.asarray(delays)
+        rows.append({
+            "link": f"{rate_gbps:g}G", "n": len(data),
+            "min_us": round(float(data.min()), 2),
+            "p50_us": round(float(np.median(data)), 2),
+            "max_us": round(float(data.max()), 2),
+        })
+    _print(render_table(rows))
+
+
+def cmd_fig20(args) -> None:
+    from .experiments.figures import figure20_consecutive_losses
+
+    results = figure20_consecutive_losses()
+    rows = []
+    for rate, data in results.items():
+        rows.append({"loss": rate,
+                     **{f"<={k}": round(v, 6) for k, v in data["cdf"].items()}})
+    _print(render_table(rows))
+
+
+def cmd_fig21(args) -> None:
+    from .experiments.timeline import run_timeline
+
+    rows = []
+    for transport, rate_gbps in (("cubic", 25), ("bbr", 10)):
+        result = run_timeline(transport, rate_gbps=rate_gbps, loss_rate=1e-3,
+                              clean_ms=args.duration_ms,
+                              loss_ms=2 * args.duration_ms,
+                              lg_ms=2 * args.duration_ms)
+        rows.append({
+            "transport": transport, "link": f"{rate_gbps}G",
+            "clean_Gbps": round(result.phase_mean_rate(
+                2, result.corruption_start_ms), 2),
+            "loss_Gbps": round(result.phase_mean_rate(
+                result.corruption_start_ms + 2, result.lg_start_ms), 2),
+            "lg_Gbps": round(result.phase_mean_rate(
+                result.lg_start_ms + 4, result.times_ms[-1]), 2),
+        })
+    _print(render_table(rows))
+
+
+def cmd_export(args) -> None:
+    from .analysis.export import export_results
+
+    written = export_results(args.results_dir, args.out_dir)
+    for path in written:
+        _print(path)
+    _print(f"{len(written)} files written to {args.out_dir}")
+
+
+def cmd_incremental(args) -> None:
+    from .experiments.incremental import run_incremental_deployment
+
+    _print(render_table(run_incremental_deployment(
+        duration_days=args.days, seed=args.seed)))
+
+
+COMMANDS = {
+    "fig01": (cmd_fig01, "PLR vs optical attenuation per transceiver"),
+    "fig02": (cmd_fig02, "flow-size CDFs of six datacenter workloads"),
+    "tab01": (cmd_tab01, "corruption loss-rate buckets (trace model)"),
+    "fig08": (cmd_fig08, "effective loss rate & link speed (stress test)"),
+    "fig09": (cmd_fig09, "DCTCP timeline on 25G with 1e-3 loss"),
+    "fig10": (cmd_fig10, "FCT of 143B single-packet flows"),
+    "fig11": (cmd_fig11, "FCT of 24,387B flows (DCTCP/BBR/RDMA)"),
+    "fig12": (cmd_fig12, "FCT of 2MB DCTCP flows"),
+    "fig13": (cmd_fig13, "classification of affected flows under LG_NB"),
+    "tab02": (cmd_tab02, "mechanism-contribution ablation"),
+    "tab03": (cmd_tab03, "CUBIC goodput: LinkGuardian vs Wharf"),
+    "tab04": (cmd_tab04, "recirculation overhead"),
+    "fig14": (cmd_fig14, "TX/RX buffer usage"),
+    "fig15": (cmd_fig15, "deployment-study snapshot (CorrOpt vs +LG)"),
+    "fig16": (cmd_fig16, "deployment-study CDFs (gain & capacity cost)"),
+    "fig19": (cmd_fig19, "retransmission-delay distribution"),
+    "fig20": (cmd_fig20, "consecutive packets lost"),
+    "fig21": (cmd_fig21, "CUBIC and BBR timelines"),
+    "incremental": (cmd_incremental, "partial-deployment sweep (§5)"),
+    "export": (cmd_export, "convert benchmarks/results JSON to .dat/.csv"),
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run LinkGuardian reproduction experiments.",
+    )
+    parser.add_argument("experiment", choices=list(COMMANDS) + ["list"],
+                        help="experiment id (paper figure/table) or 'list'")
+    parser.add_argument("--trials", type=int, default=1_000,
+                        help="FCT trials per scenario")
+    parser.add_argument("--loss-rate", type=float, default=5e-3,
+                        help="corruption loss rate for FCT experiments")
+    parser.add_argument("--duration-ms", type=float, default=4.0,
+                        help="stress/timeline phase duration (simulated ms)")
+    parser.add_argument("--days", type=float, default=120.0,
+                        help="deployment-study duration (simulated days)")
+    parser.add_argument("--mttf-hours", type=float, default=1_500.0,
+                        help="link mean-time-to-failure for deployment study")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--results-dir", default="benchmarks/results",
+                        help="where the benchmark suite saved its JSON")
+    parser.add_argument("--out-dir", default="figures",
+                        help="where to write .dat/.csv files (export)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        rows = [{"experiment": name, "description": desc}
+                for name, (_, desc) in COMMANDS.items()]
+        _print(render_table(rows))
+        return 0
+    command, _ = COMMANDS[args.experiment]
+    command(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Discrete-event simulation kernel and seeded randomness."""
+
+from .engine import Event, SimError, Simulator
+from .rng import RngFactory
+
+__all__ = ["Event", "SimError", "Simulator", "RngFactory"]

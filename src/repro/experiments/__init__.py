@@ -1,0 +1,25 @@
+"""Experiment harness: one module per paper table/figure plus the testbed."""
+
+from .deployment import DeploymentComparison, run_deployment_comparison
+from .fct import SCENARIOS, FctResult, run_fct_experiment
+from .figures import (
+    figure1_attenuation_series, figure2_flow_size_cdfs,
+    figure20_consecutive_losses, table1_loss_buckets,
+)
+from .goodput import GOODPUT_SCHEMES, run_goodput
+from .mechanisms import MECHANISM_VARIANTS, run_mechanism_study
+from .stress import StressResult, run_stress_test
+from .testbed import Testbed, build_testbed
+from .timeline import TimelineResult, run_timeline
+
+__all__ = [
+    "DeploymentComparison", "run_deployment_comparison",
+    "SCENARIOS", "FctResult", "run_fct_experiment",
+    "figure1_attenuation_series", "figure2_flow_size_cdfs",
+    "figure20_consecutive_losses", "table1_loss_buckets",
+    "GOODPUT_SCHEMES", "run_goodput",
+    "MECHANISM_VARIANTS", "run_mechanism_study",
+    "StressResult", "run_stress_test",
+    "Testbed", "build_testbed",
+    "TimelineResult", "run_timeline",
+]

@@ -1,0 +1,72 @@
+"""Mechanism-contribution ablation (paper Table 2, §4.5).
+
+Runs the 24,387 B DCTCP FCT experiment under four LinkGuardian variants:
+
+* **ReTx**            — link-local retransmission only (out-of-order,
+                        no dummy-packet tail-loss detection);
+* **ReTx + Order**    — adds the reordering buffer + backpressure;
+* **ReTx + Tail**     — adds the dummy queue instead (this variant is
+                        LinkGuardianNB);
+* **ReTx + Tail + Order** — the full LinkGuardian.
+
+plus the No-Loss and Loss baselines, and reports the top-percentile FCTs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..analysis.stats import tail_percentiles
+from ..linkguardian.config import LinkGuardianConfig
+from .fct import FctResult, run_fct_experiment
+
+__all__ = ["MECHANISM_VARIANTS", "run_mechanism_study"]
+
+#: variant name -> (ordered, tail_loss_detection); None = baseline scenario
+MECHANISM_VARIANTS = {
+    "No Loss": None,
+    "Loss": None,
+    "ReTx": (False, False),
+    "ReTx+Order": (True, False),
+    "ReTx+Tail": (False, True),
+    "ReTx+Tail+Order": (True, True),
+}
+
+
+def run_mechanism_study(
+    transport: str = "dctcp",
+    flow_size: int = 24_387,
+    n_trials: int = 1_000,
+    rate_gbps: float = 100,
+    loss_rate: float = 1e-3,
+    seed: int = 1,
+) -> Dict[str, dict]:
+    """Return {variant: {p50, p99, p99.9, ...}} as in Table 2."""
+    results: Dict[str, dict] = {}
+    for variant, toggles in MECHANISM_VARIANTS.items():
+        if toggles is None:
+            scenario = "noloss" if variant == "No Loss" else "loss"
+            lg_config = None
+        else:
+            ordered, tail = toggles
+            scenario = "lg" if ordered else "lgnb"
+            lg_config = LinkGuardianConfig.for_link_speed(
+                rate_gbps, ordered=ordered, tail_loss_detection=tail
+            )
+        outcome: FctResult = run_fct_experiment(
+            transport=transport,
+            flow_size=flow_size,
+            n_trials=n_trials,
+            scenario=scenario,
+            rate_gbps=rate_gbps,
+            loss_rate=loss_rate,
+            seed=seed,
+            lg_config=lg_config,
+        )
+        row = tail_percentiles(outcome.fcts_us)
+        row["std"] = float(np.std(outcome.fcts_us)) if len(outcome.fcts_us) else 0.0
+        row["trials"] = len(outcome.fcts_us)
+        results[variant] = row
+    return results

@@ -1,0 +1,122 @@
+"""The evaluation testbed: hosts on both sides of one protected link.
+
+A condensed version of the paper's Figure 7: ``sw2`` and ``sw6`` joined
+by the (optionally corrupting) protected link, with hosts attached on
+each side.  The intermediate ToR switches of the physical testbed are
+folded into the host ``stack_delay_ns`` — what matters for every
+experiment is the RTT and the behaviour of the protected link itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.engine import Simulator
+from ..core.rng import RngFactory
+from ..hosts.host import Host
+from ..linkguardian.config import LinkGuardianConfig
+from ..linkguardian.protocol import ProtectedLink
+from ..phy.loss import BernoulliLoss, LossProcess
+from ..switchsim.switch import Switch
+from ..units import KB, gbps
+
+__all__ = ["Testbed", "build_testbed"]
+
+
+class Testbed:
+    """Two switches, one protected link, and hosts on both sides."""
+
+    def __init__(self, sim: Simulator, plink: ProtectedLink, rng: RngFactory) -> None:
+        self.sim = sim
+        self.plink = plink
+        self.rng = rng
+        self.sender_switch = plink.sender_switch
+        self.receiver_switch = plink.receiver_switch
+        self.hosts: Dict[str, Host] = {}
+
+    def add_host(
+        self,
+        name: str,
+        side: str,
+        rate_bps: Optional[int] = None,
+        stack_delay_ns: int = 6_000,
+    ) -> Host:
+        """Attach a host to the sender ("tx") or receiver ("rx") side."""
+        if side not in ("tx", "rx"):
+            raise ValueError("side must be 'tx' or 'rx'")
+        local = self.sender_switch if side == "tx" else self.receiver_switch
+        remote = self.receiver_switch if side == "tx" else self.sender_switch
+        # The remote switch reaches this host over the protected link:
+        # sw6 reaches tx-side hosts through its reverse-direction port,
+        # sw2 reaches rx-side hosts through its forward-direction port.
+        via = (
+            self.plink.reverse_port_name if side == "tx" else self.plink.forward_port_name
+        )
+        host = Host(
+            self.sim, name,
+            rate_bps=rate_bps if rate_bps is not None else self.plink.rate_bps,
+            stack_delay_ns=stack_delay_ns,
+        )
+        host.attach(local)
+        remote.set_route(name, via)
+        self.hosts[name] = host
+        return host
+
+
+def build_testbed(
+    rate_gbps: float = 100,
+    loss_rate: float = 0.0,
+    ordered: bool = True,
+    lg_active: bool = True,
+    seed: int = 1,
+    loss: Optional[LossProcess] = None,
+    config: Optional[LinkGuardianConfig] = None,
+    propagation_ns: int = 100,
+    ecn_threshold_bytes: Optional[int] = 100 * KB,
+    normal_queue_capacity: int = 2_000 * KB,
+    mean_burst: float = 1.0,
+    recirc_drain_gbps: Optional[float] = None,
+) -> Testbed:
+    """Build the two-switch testbed.
+
+    Args:
+        rate_gbps: speed of every link (the paper runs all-25G or all-100G).
+        loss_rate: corruption rate on the protected link's forward
+            direction (ignored when ``loss`` is given).
+        ordered: LinkGuardian (True) or LinkGuardianNB (False).
+        lg_active: whether LinkGuardian starts activated.
+        mean_burst: >1 switches the loss process to Gilbert-Elliott.
+        recirc_drain_gbps: reordering-buffer drain rate; defaults to the
+            recirculation port's 100G, or the link rate if faster (a
+            400G link needs aggregated recirculation ports, §5).
+    """
+    sim = Simulator()
+    rng = RngFactory(seed)
+    if loss is None and loss_rate > 0:
+        if mean_burst > 1.0:
+            from ..phy.loss import GilbertElliottLoss
+
+            loss = GilbertElliottLoss(loss_rate, mean_burst, rng.stream("link-loss"))
+        else:
+            loss = BernoulliLoss(loss_rate, rng.stream("link-loss"))
+    if config is None:
+        config = LinkGuardianConfig.for_link_speed(rate_gbps, ordered=ordered)
+    sw2 = Switch(sim, "sw2")
+    sw6 = Switch(sim, "sw6")
+    plink = ProtectedLink(
+        sim, sw2, sw6,
+        rate_bps=gbps(rate_gbps),
+        propagation_ns=propagation_ns,
+        config=config,
+        loss=loss,
+        ecn_threshold_bytes=ecn_threshold_bytes,
+        normal_queue_capacity=normal_queue_capacity,
+        recirc_drain_bps=gbps(
+            recirc_drain_gbps if recirc_drain_gbps is not None
+            else max(100.0, rate_gbps)
+        ),
+        phase_rng=rng.stream("recirc-phase"),
+    )
+    if lg_active:
+        plink.activate(loss.rate if loss is not None and loss.rate > 0 else 1e-4)
+    return Testbed(sim, plink, rng)

@@ -1,0 +1,5 @@
+"""Facebook-fabric datacenter topology and capacity metrics."""
+
+from .topology import FabricLink, FabricTopology
+
+__all__ = ["FabricLink", "FabricTopology"]

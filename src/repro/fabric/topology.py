@@ -1,0 +1,192 @@
+"""Facebook-fabric datacenter topology (paper Figure 4, §4.8).
+
+The topology is the unit the CorrOpt evaluation runs on: pods of
+``tors_per_pod`` ToR switches, each connected to all
+``fabrics_per_pod`` fabric switches; each fabric switch has
+``spine_uplinks`` uplinks into its spine plane.  Every ToR therefore has
+``fabrics_per_pod * spine_uplinks`` valley-free paths to the spine
+layer (4 x 48 = 192 in the paper).
+
+The class maintains, incrementally, the two quantities CorrOpt's
+checker and the paper's metrics need:
+
+* per-ToR **path count** to the spine layer (a ToR-fabric link carries
+  ``up-spine-links(fabric)`` paths; a fabric-spine link carries one path
+  for every ToR still connected to that fabric switch);
+* per-pod **capacity** from the ToR layer to the spine (each link
+  contributes its speed scaled by the LinkGuardian effective-speed
+  fraction when enabled, zero when disabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+__all__ = ["FabricLink", "FabricTopology"]
+
+TOR_FABRIC = "tor-fabric"
+FABRIC_SPINE = "fabric-spine"
+
+
+@dataclass
+class FabricLink:
+    """One optical switch-to-switch link and its operational state."""
+
+    link_id: int
+    kind: str                  # TOR_FABRIC or FABRIC_SPINE
+    pod: int
+    fabric: int
+    tor: int = -1              # valid for TOR_FABRIC
+    spine_port: int = -1       # valid for FABRIC_SPINE
+    up: bool = True
+    corrupting: bool = False
+    loss_rate: float = 0.0
+    lg_enabled: bool = False
+    speed_fraction: float = 1.0  # < 1 when LinkGuardian trades speed
+
+    @property
+    def effective_capacity(self) -> float:
+        return self.speed_fraction if self.up else 0.0
+
+
+class FabricTopology:
+    """A pods-of-ToRs fabric with incremental path/capacity accounting."""
+
+    def __init__(
+        self,
+        n_pods: int,
+        tors_per_pod: int = 48,
+        fabrics_per_pod: int = 4,
+        spine_uplinks: int = 48,
+    ) -> None:
+        self.n_pods = n_pods
+        self.tors_per_pod = tors_per_pod
+        self.fabrics_per_pod = fabrics_per_pod
+        self.spine_uplinks = spine_uplinks
+        self.max_paths_per_tor = fabrics_per_pod * spine_uplinks
+        self.links: List[FabricLink] = []
+        # per (pod, tor, fabric) -> link ; per (pod, fabric, port) -> link
+        self._tor_fabric = {}
+        self._fabric_spine = {}
+        link_id = 0
+        for pod in range(n_pods):
+            for tor in range(tors_per_pod):
+                for fabric in range(fabrics_per_pod):
+                    link = FabricLink(link_id, TOR_FABRIC, pod, fabric, tor=tor)
+                    self._tor_fabric[(pod, tor, fabric)] = link
+                    self.links.append(link)
+                    link_id += 1
+            for fabric in range(fabrics_per_pod):
+                for port in range(spine_uplinks):
+                    link = FabricLink(link_id, FABRIC_SPINE, pod, fabric, spine_port=port)
+                    self._fabric_spine[(pod, fabric, port)] = link
+                    self.links.append(link)
+                    link_id += 1
+
+    # -- basic queries ------------------------------------------------------------
+
+    @property
+    def n_links(self) -> int:
+        return len(self.links)
+
+    def link(self, link_id: int) -> FabricLink:
+        return self.links[link_id]
+
+    def pod_links(self, pod: int) -> Iterator[FabricLink]:
+        for link in self.links:
+            if link.pod == pod:
+                yield link
+
+    # -- path counting -------------------------------------------------------------
+
+    def fabric_up_spine_links(self, pod: int, fabric: int) -> int:
+        return sum(
+            1
+            for port in range(self.spine_uplinks)
+            if self._fabric_spine[(pod, fabric, port)].up
+        )
+
+    def tor_paths(self, pod: int, tor: int) -> int:
+        """Valley-free paths from this ToR to the spine layer."""
+        total = 0
+        for fabric in range(self.fabrics_per_pod):
+            if self._tor_fabric[(pod, tor, fabric)].up:
+                total += self.fabric_up_spine_links(pod, fabric)
+        return total
+
+    def pod_min_tor_paths(self, pod: int) -> int:
+        spine_up = [
+            self.fabric_up_spine_links(pod, fabric)
+            for fabric in range(self.fabrics_per_pod)
+        ]
+        worst = None
+        for tor in range(self.tors_per_pod):
+            paths = sum(
+                spine_up[fabric]
+                for fabric in range(self.fabrics_per_pod)
+                if self._tor_fabric[(pod, tor, fabric)].up
+            )
+            if worst is None or paths < worst:
+                worst = paths
+        return worst if worst is not None else 0
+
+    def min_tor_paths_fraction(self) -> Tuple[float, int]:
+        """(worst-case fraction of paths retained, pod index)."""
+        worst, worst_pod = 1.0, -1
+        for pod in range(self.n_pods):
+            fraction = self.pod_min_tor_paths(pod) / self.max_paths_per_tor
+            if fraction < worst:
+                worst, worst_pod = fraction, pod
+        return worst, worst_pod
+
+    # -- capacity ---------------------------------------------------------------------
+
+    def pod_capacity_fraction(self, pod: int) -> float:
+        """ToR-layer-to-spine capacity of a pod, normalized to healthy.
+
+        The pod's usable capacity is limited by the thinner of its two
+        stages (ToR->fabric and fabric->spine), normalized so a fully
+        healthy pod is 1.0.
+        """
+        tor_stage = sum(
+            self._tor_fabric[(pod, tor, fabric)].effective_capacity
+            for tor in range(self.tors_per_pod)
+            for fabric in range(self.fabrics_per_pod)
+        )
+        spine_stage = sum(
+            self._fabric_spine[(pod, fabric, port)].effective_capacity
+            for fabric in range(self.fabrics_per_pod)
+            for port in range(self.spine_uplinks)
+        )
+        tor_max = self.tors_per_pod * self.fabrics_per_pod
+        spine_max = self.fabrics_per_pod * self.spine_uplinks
+        return min(tor_stage / tor_max, spine_stage / spine_max)
+
+    def least_pod_capacity_fraction(self) -> float:
+        return min(self.pod_capacity_fraction(pod) for pod in range(self.n_pods))
+
+    # -- CorrOpt hooks -----------------------------------------------------------------
+
+    def tors_affected_by(self, link: FabricLink) -> Iterator[int]:
+        """ToRs whose path count depends on ``link`` (within its pod)."""
+        if link.kind == TOR_FABRIC:
+            yield link.tor
+        else:
+            for tor in range(self.tors_per_pod):
+                yield tor
+
+    def can_disable(self, link: FabricLink, capacity_constraint: float) -> bool:
+        """CorrOpt's fast checker: would disabling ``link`` keep every
+        affected ToR at or above the constraint fraction of its paths?"""
+        if not link.up:
+            return True
+        link.up = False
+        try:
+            threshold = capacity_constraint * self.max_paths_per_tor
+            for tor in self.tors_affected_by(link):
+                if self.tor_paths(link.pod, tor) < threshold:
+                    return False
+            return True
+        finally:
+            link.up = True

@@ -1,0 +1,5 @@
+"""End-host and NIC models."""
+
+from .host import Host
+
+__all__ = ["Host"]

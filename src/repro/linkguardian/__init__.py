@@ -1,0 +1,11 @@
+"""The LinkGuardian protocol: config, sender, receiver, and link assembly."""
+
+from .config import LinkGuardianConfig, expected_effective_loss, retx_copies
+from .protocol import ProtectedLink
+from .receiver import LgReceiver, ReceiverStats
+from .sender import LgSender, SenderStats
+
+__all__ = [
+    "LinkGuardianConfig", "expected_effective_loss", "retx_copies",
+    "ProtectedLink", "LgReceiver", "ReceiverStats", "LgSender", "SenderStats",
+]

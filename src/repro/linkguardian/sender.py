@@ -1,0 +1,322 @@
+"""LinkGuardian sender-switch logic (paper §3, Appendix A.2).
+
+The sender sits at the egress of the corrupting link.  For every
+protected packet it:
+
+* stamps the 3-byte LinkGuardian data header (era'd 16-bit seqNo);
+* egress-mirrors a copy into the **Tx buffer**, modelled after the
+  Tofino recirculation loop: a buffered copy "comes around" once per
+  ``recirc_loop_ns`` and is only then eligible to be retransmitted or
+  freed — which is exactly why the paper's measured ReTx delays (2–6 µs,
+  Figure 19) dwarf the 123 ns serialization time of an MTU frame.
+
+Reverse-direction packets from the receiver switch carry:
+
+* piggybacked / explicit cumulative ACKs (``next_rx``: everything below
+  it was received or accounted for) — the sender frees buffered copies;
+* loss notifications — the sender marks ``reTxReqs`` (bounded by the
+  number of provisioned 1-bit registers, §3.5) and, when each requested
+  copy next comes around the recirculation loop, multicasts ``N`` copies
+  into the high-priority retransmission queue (§3.4);
+* pause/resume backpressure — the sender pauses *only the normal packet
+  queue*, never the retransmission queue (§3.3).
+
+A strictly-lowest-priority self-replenishing **dummy-packet queue**
+advertises the sender's send frontier whenever the link would otherwise
+go quiet, letting the receiver detect tail losses without any timeout
+(§3.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from ..analysis.stats import OccupancyTracker
+from ..core.engine import Simulator
+from ..packets.packet import LG_HEADER_BYTES, LgDataHeader, Packet, PacketKind
+from ..packets.seqno import SeqCounter, seq_compare
+from ..switchsim.port import EgressPort
+from .config import LinkGuardianConfig
+
+__all__ = ["LgSender", "SenderStats"]
+
+
+class SenderStats:
+    """Counters the evaluation harness reads off a sender."""
+
+    def __init__(self) -> None:
+        self.protected = 0           # data packets stamped + mirrored
+        self.unprotected = 0         # sent without a buffer copy (Tx buffer full)
+        self.retx_events = 0         # distinct packets retransmitted
+        self.retx_copies = 0         # total copies injected (N per event)
+        self.retx_misses = 0         # requested but no longer buffered
+        self.reqs_overflow = 0       # losses beyond the reTxReqs registers
+        self.freed = 0               # buffer copies freed by ACKs
+        self.dummies_sent = 0
+        self.pauses = 0
+        self.resumes = 0
+        self.recirc_passes = 0       # Tx-buffer recirculation loop passes
+
+
+class _TxEntry:
+    __slots__ = ("seqno", "era", "packet", "mirrored_at", "freed")
+
+    def __init__(self, seqno: int, era: int, packet: Packet, mirrored_at: int) -> None:
+        self.seqno = seqno
+        self.era = era
+        self.packet = packet
+        self.mirrored_at = mirrored_at
+        self.freed = False
+
+
+class LgSender:
+    """Protocol endpoint on the sender switch for one protected link."""
+
+    # Queue layout on the protected egress port (strict priority order).
+    RETX_QUEUE = 0
+    NORMAL_QUEUE = 1
+    DUMMY_QUEUE = 2
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: LinkGuardianConfig,
+        port: EgressPort,
+        n_copies: int,
+        forward_reverse: Optional[Callable[[Packet], None]] = None,
+        name: str = "lg-sender",
+        phase_rng=None,
+        manage_port_hooks: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.port = port
+        self.n_copies = max(1, int(n_copies))
+        self.forward_reverse = forward_reverse
+        self.name = name
+        self.stats = SenderStats()
+
+        self._seq = SeqCounter()
+        self._acked_next = (0, 0)          # receiver's next expected (value, era)
+        self._buffer: deque = deque()      # _TxEntry in seq order
+        self._entries = {}                 # (era, seq) -> _TxEntry
+        self._buffer_bytes = 0
+        self._requested = set()            # (era, seq) pending retransmission
+        #: randomizes each buffered copy's recirculation-loop phase: the
+        #: loop is not synchronized to packet arrivals in hardware, so the
+        #: wait until a copy next "comes around" is uniform over the loop.
+        self._phase_rng = phase_rng
+        self.tx_occupancy = OccupancyTracker(sim.now)
+        self._active = True
+
+        if manage_port_hooks:
+            port.on_transmit = self._on_transmit
+            port.on_dequeue = self._on_dequeue
+        # The dummy queue is seeded on activation: a dormant LinkGuardian
+        # sends nothing and costs nothing (§3).
+
+    # -- activation -----------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def deactivate(self) -> None:
+        """Stop protecting new packets (corruptd turned LinkGuardian off)."""
+        self._active = False
+
+    def activate(self, n_copies: Optional[int] = None) -> None:
+        if n_copies is not None:
+            self.n_copies = max(1, int(n_copies))
+        self._active = True
+        if self.config.tail_loss_detection:
+            dummy_queue = self.port.queues[self.DUMMY_QUEUE]
+            for _ in range(self.config.dummy_copies - len(dummy_queue)):
+                self._enqueue_dummy()
+
+    # -- forward datapath ------------------------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        """Egress-handler entry: a data packet heading onto the protected link.
+
+        The packet is only *marked* for protection here; the seqNo is
+        assigned and the Tx-buffer copy mirrored in the egress pipeline
+        when the frame is dequeued for serialization (``_stamp``) — so
+        the advertised send frontier never runs ahead of the wire.
+        """
+        if self._active:
+            packet.meta["lg_protect"] = True
+            packet.size += LG_HEADER_BYTES
+        self.port.enqueue(packet, self.NORMAL_QUEUE)
+
+    def _stamp(self, packet: Packet) -> None:
+        """Egress-pipeline work: assign the seqNo and egress-mirror a copy."""
+        packet.meta.pop("lg_protect", None)
+        assigned = self._seq.next()
+        packet.lg = LgDataHeader(seqno=assigned.value, era=assigned.era)
+        self.stats.protected += 1
+        if (
+            self._buffer_bytes + packet.size
+            <= self.config.tx_buffer_capacity_bytes
+        ):
+            self._mirror(packet, assigned)
+        else:
+            self.stats.unprotected += 1
+
+    def _mirror(self, packet: Packet, assigned: SeqCounter) -> None:
+        copy = packet.copy()
+        mirrored_at = self.sim.now
+        if self._phase_rng is not None:
+            mirrored_at -= int(self._phase_rng.integers(0, self.config.recirc_loop_ns))
+        entry = _TxEntry(assigned.value, assigned.era, copy, mirrored_at)
+        self._buffer.append(entry)
+        self._entries[(assigned.era, assigned.value)] = entry
+        self._buffer_bytes += copy.size
+        self.tx_occupancy.update(self.sim.now, self._buffer_bytes)
+
+    # -- reverse datapath ------------------------------------------------------
+
+    def on_reverse_packet(self, packet: Packet) -> None:
+        """Ingress-handler entry for frames arriving from the receiver switch."""
+        if packet.lg_ack is not None:
+            self._process_ack(packet.lg_ack.ackno, packet.lg_ack.era)
+        if packet.kind is PacketKind.LG_ACK:
+            return  # explicit ACK: consumed entirely
+        if packet.kind is PacketKind.LG_LOSS_NOTIF:
+            self._process_loss_notification(packet)
+            return
+        if packet.kind is PacketKind.LG_PAUSE:
+            if not self.port.is_paused(self.NORMAL_QUEUE):
+                self.stats.pauses += 1
+                self.port.pause(self.NORMAL_QUEUE)
+            return
+        if packet.kind is PacketKind.LG_RESUME:
+            if self.port.is_paused(self.NORMAL_QUEUE):
+                self.stats.resumes += 1
+                self.port.resume(self.NORMAL_QUEUE)
+            return
+        # Normal reverse traffic: strip the piggybacked ACK header and
+        # hand the packet back to the switch pipeline.
+        if packet.lg_ack is not None:
+            packet.size -= LG_HEADER_BYTES
+            packet.lg_ack = None
+        if self.forward_reverse is not None:
+            self.forward_reverse(packet)
+
+    def _process_ack(self, ackno: int, era: int) -> None:
+        if seq_compare(ackno, era, self._acked_next[0], self._acked_next[1]) > 0:
+            self._acked_next = (ackno, era)
+            self._sweep()
+
+    def _process_loss_notification(self, packet: Packet) -> None:
+        missing = packet.meta.get("lg_missing", ())
+        for index, key in enumerate(missing):
+            if index >= self.config.max_consecutive_retx:
+                # More consecutive losses than reTxReqs registers: the
+                # hardware cannot record them; the receiver will time out.
+                self.stats.reqs_overflow += 1
+                continue
+            self._requested.add(key)
+        next_rx = packet.meta.get("lg_next_rx")
+        if next_rx is not None:
+            self._process_ack(next_rx[1], next_rx[0])
+        else:
+            self._sweep()
+
+    # -- Tx buffer sweep (the recirculation loop) ------------------------------
+
+    def _sweep(self) -> None:
+        """Free or retransmit buffered copies the receiver has accounted for."""
+        ack_val, ack_era = self._acked_next
+        while self._buffer:
+            entry = self._buffer[0]
+            if seq_compare(entry.seqno, entry.era, ack_val, ack_era) >= 0:
+                break
+            self._buffer.popleft()
+            key = (entry.era, entry.seqno)
+            self._entries.pop(key, None)
+            self._account_passes(entry)
+            if key in self._requested:
+                self._requested.discard(key)
+                self._schedule_retx(entry)
+            else:
+                entry.freed = True
+                self._buffer_bytes -= entry.packet.size
+                self.stats.freed += 1
+                self.tx_occupancy.update(self.sim.now, self._buffer_bytes)
+
+    def _account_passes(self, entry: _TxEntry) -> None:
+        residence = self.sim.now - entry.mirrored_at
+        self.stats.recirc_passes += 1 + residence // self.config.recirc_loop_ns
+
+    def _schedule_retx(self, entry: _TxEntry) -> None:
+        """Retransmit when the copy next comes around the recirculation loop."""
+        loop = self.config.recirc_loop_ns
+        since_mirror = self.sim.now - entry.mirrored_at
+        wait = (-since_mirror) % loop
+        self.sim.schedule(wait, self._fire_retx, entry)
+
+    def _fire_retx(self, entry: _TxEntry) -> None:
+        entry.freed = True
+        self._buffer_bytes -= entry.packet.size
+        self.tx_occupancy.update(self.sim.now, self._buffer_bytes)
+        self.stats.retx_events += 1
+        for _ in range(self.n_copies):
+            copy = entry.packet.copy()
+            copy.kind = PacketKind.LG_RETX
+            copy.lg.is_retx = True
+            self.stats.retx_copies += 1
+            self.port.enqueue(copy, self.RETX_QUEUE)
+
+    # -- dummy-packet queue (§3.2) ----------------------------------------------
+
+    def _make_dummy(self) -> Packet:
+        return Packet(
+            size=self.config.control_frame_bytes,
+            kind=PacketKind.LG_DUMMY,
+            src=self.name,
+            priority=self.DUMMY_QUEUE,
+        )
+
+    def _enqueue_dummy(self) -> None:
+        self.port.enqueue(self._make_dummy(), self.DUMMY_QUEUE)
+
+    def on_port_dequeue(self, packet: Packet, queue_index: int) -> None:
+        """Egress-pipeline hook: stamp seqNos / dummy frontiers."""
+        self._on_dequeue(packet, queue_index)
+
+    def on_port_transmit(self, packet: Packet, queue_index: int) -> None:
+        """Post-serialization hook: replenish the dummy queue."""
+        self._on_transmit(packet, queue_index)
+
+    def _on_dequeue(self, packet: Packet, queue_index: int) -> None:
+        if packet.meta.get("lg_protect"):
+            self._stamp(packet)
+        elif packet.kind is PacketKind.LG_DUMMY:
+            # Stamp the send frontier in the egress pipeline, so the value
+            # is fresh even if the dummy waited behind normal traffic.
+            packet.meta["lg_frontier"] = (self._seq.era, self._seq.value)
+
+    def _on_transmit(self, packet: Packet, queue_index: int) -> None:
+        if packet.kind is PacketKind.LG_DUMMY:
+            self.stats.dummies_sent += 1
+            if self._active and self.config.tail_loss_detection:
+                # Egress mirroring puts a replacement dummy back after one
+                # trip through the mirror path.
+                self.sim.schedule(self.config.replenish_delay_ns, self._enqueue_dummy)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def buffer_bytes(self) -> int:
+        return self._buffer_bytes
+
+    @property
+    def buffer_packets(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def send_frontier(self) -> tuple:
+        """(era, next unassigned seqno) — what the next packet would get."""
+        return (self._seq.era, self._seq.value)

@@ -1,0 +1,5 @@
+"""Control-plane link monitoring (corruptd)."""
+
+from .corruptd import Corruptd, CorruptionNotice, PubSubBus
+
+__all__ = ["Corruptd", "CorruptionNotice", "PubSubBus"]

@@ -1,0 +1,149 @@
+"""corruptd: control-plane link-corruption monitoring (paper Appendix C).
+
+Each switch runs a ``corruptd`` daemon that polls its ports' RX counters
+(``framesRxOk`` / ``framesRxAll``) every second, estimates the loss rate
+over a moving window of frames, and — when the loss rate crosses the
+activation threshold (1e-8, a healthy link's BER floor) — notifies the
+*upstream* switch through a publish-subscribe bus so that LinkGuardian
+is activated on the corrupting link, sized by Equation 2 for the
+measured loss rate.
+
+The bus is an in-process stand-in for the Redis PubSub deployment the
+paper describes; the daemon logic (polling, windowing, thresholding,
+activation) is the same.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.engine import Simulator
+from ..linkguardian.protocol import ProtectedLink
+from ..units import SEC
+
+__all__ = ["PubSubBus", "Corruptd", "CorruptionNotice"]
+
+
+class PubSubBus:
+    """Minimal in-process publish-subscribe bus (the Redis stand-in)."""
+
+    def __init__(self, sim: Simulator, delivery_delay_ns: int = 1_000_000) -> None:
+        self.sim = sim
+        self.delivery_delay_ns = delivery_delay_ns
+        self._subscribers: Dict[str, List[Callable]] = {}
+        self.published = 0
+
+    def subscribe(self, channel: str, callback: Callable) -> None:
+        self._subscribers.setdefault(channel, []).append(callback)
+
+    def publish(self, channel: str, message) -> None:
+        self.published += 1
+        for callback in self._subscribers.get(channel, []):
+            self.sim.schedule(self.delivery_delay_ns, callback, message)
+
+
+@dataclass(frozen=True)
+class CorruptionNotice:
+    """Published when a receiving switch sees a corrupting ingress link."""
+
+    link_name: str
+    loss_rate: float
+    detected_at_ns: int
+    cleared: bool = False
+
+
+class Corruptd:
+    """One switch's monitoring daemon, watching one protected link's RX side.
+
+    The daemon runs at the *receiver* switch (where corrupted frames are
+    dropped by the MAC and visible in the counters) and publishes to the
+    upstream switch's channel; an activator subscribed there flips
+    LinkGuardian on.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        plink: ProtectedLink,
+        bus: PubSubBus,
+        poll_interval_ns: int = 1 * SEC,
+        window_frames: int = 100_000_000,
+        activation_threshold: float = 1e-8,
+        deactivation: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.plink = plink
+        self.bus = bus
+        self.poll_interval_ns = int(poll_interval_ns)
+        self.window_frames = int(window_frames)
+        self.activation_threshold = float(activation_threshold)
+        self.deactivation = deactivation
+        self.channel = f"corruptd:{plink.sender_switch.name}"
+        self.notices: List[CorruptionNotice] = []
+        self._snapshots: deque = deque()  # (rx_all, rx_ok)
+        self._notified = False
+        self._running = False
+        bus.subscribe(self.channel, self._on_notice)
+
+    # -- polling loop -------------------------------------------------------------
+
+    def start(self) -> None:
+        self._running = True
+        self.sim.schedule(self.poll_interval_ns, self._poll)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def window_loss_rate(self) -> Optional[float]:
+        """Loss rate over (up to) the last ``window_frames`` frames."""
+        if len(self._snapshots) < 2:
+            return None
+        newest_all, newest_ok = self._snapshots[-1]
+        base_all, base_ok = self._snapshots[0]
+        for past_all, past_ok in self._snapshots:
+            if newest_all - past_all <= self.window_frames:
+                base_all, base_ok = past_all, past_ok
+                break
+        frames = newest_all - base_all
+        if frames == 0:
+            return None
+        ok = newest_ok - base_ok
+        return 1.0 - ok / frames
+
+    def _poll(self) -> None:
+        if not self._running:
+            return
+        counters = self.plink.forward_link.rx_counters
+        self._snapshots.append((counters.frames_rx_all, counters.frames_rx_ok))
+        while len(self._snapshots) > 2 and (
+            self._snapshots[-1][0] - self._snapshots[1][0] >= self.window_frames
+        ):
+            self._snapshots.popleft()
+        loss = self.window_loss_rate()
+        if loss is not None:
+            if loss >= self.activation_threshold and not self._notified:
+                self._notified = True
+                notice = CorruptionNotice(
+                    self.plink.forward_link.name, loss, self.sim.now
+                )
+                self.notices.append(notice)
+                self.bus.publish(self.channel, notice)
+            elif self.deactivation and self._notified and loss < self.activation_threshold:
+                self._notified = False
+                notice = CorruptionNotice(
+                    self.plink.forward_link.name, loss, self.sim.now, cleared=True
+                )
+                self.notices.append(notice)
+                self.bus.publish(self.channel, notice)
+        self.sim.schedule(self.poll_interval_ns, self._poll)
+
+    # -- activation at the upstream switch --------------------------------------------
+
+    def _on_notice(self, notice: CorruptionNotice) -> None:
+        """The upstream corruptd pushes dataplane entries (activation)."""
+        if notice.cleared:
+            self.plink.deactivate()
+        else:
+            self.plink.activate(notice.loss_rate)

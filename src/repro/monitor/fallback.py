@@ -1,0 +1,111 @@
+"""Automatic fallback under sudden high loss rates (paper §5).
+
+LinkGuardian is designed for the low corruption rates of Table 1; under
+a sudden very high loss rate the ordered mode's pauses and reordering
+buffer pressure degrade the link badly.  The paper proposes extending
+the corruptd monitoring to detect this and automatically fall back to
+LinkGuardianNB, or disable LinkGuardian entirely on the affected link.
+
+:class:`AutoFallback` implements that policy as a control-plane loop on
+top of the same windowed loss estimate corruptd uses:
+
+* loss < ``nb_threshold``       -> full ordered LinkGuardian;
+* loss in [nb, disable)         -> LinkGuardianNB (ordering dropped);
+* loss >= ``disable_threshold`` -> LinkGuardian off (the link is beyond
+  saving by retransmission; CorrOpt should disable it for repair).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from ..core.engine import Simulator
+from ..linkguardian.protocol import ProtectedLink
+from ..units import MS
+
+__all__ = ["AutoFallback"]
+
+
+class AutoFallback:
+    """Watches one protected link and demotes its mode under heavy loss."""
+
+    MODES = ("ordered", "non-blocking", "off")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        plink: ProtectedLink,
+        poll_interval_ns: int = 10 * MS,
+        window_frames: int = 20_000,
+        nb_threshold: float = 5e-3,
+        disable_threshold: float = 5e-2,
+    ) -> None:
+        if not 0 < nb_threshold < disable_threshold:
+            raise ValueError("need 0 < nb_threshold < disable_threshold")
+        self.sim = sim
+        self.plink = plink
+        self.poll_interval_ns = int(poll_interval_ns)
+        self.window_frames = int(window_frames)
+        self.nb_threshold = nb_threshold
+        self.disable_threshold = disable_threshold
+        self.transitions: List[tuple] = []  # (time_ns, from_mode, to_mode)
+        self._snapshots: deque = deque()
+        self._running = False
+
+    @property
+    def mode(self) -> str:
+        if not self.plink.active:
+            return "off"
+        return "ordered" if self.plink.config.ordered else "non-blocking"
+
+    def start(self) -> None:
+        self._running = True
+        self.sim.schedule(self.poll_interval_ns, self._poll)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _window_loss(self) -> Optional[float]:
+        if len(self._snapshots) < 2:
+            return None
+        new_all, new_ok = self._snapshots[-1]
+        old_all, old_ok = self._snapshots[0]
+        frames = new_all - old_all
+        if frames == 0:
+            return None
+        return 1.0 - (new_ok - old_ok) / frames
+
+    def _poll(self) -> None:
+        if not self._running:
+            return
+        counters = self.plink.forward_link.rx_counters
+        self._snapshots.append((counters.frames_rx_all, counters.frames_rx_ok))
+        while len(self._snapshots) > 2 and (
+            self._snapshots[-1][0] - self._snapshots[1][0] >= self.window_frames
+        ):
+            self._snapshots.popleft()
+        loss = self._window_loss()
+        if loss is not None:
+            self._apply_policy(loss)
+        self.sim.schedule(self.poll_interval_ns, self._poll)
+
+    def _apply_policy(self, loss: float) -> None:
+        current = self.mode
+        if loss >= self.disable_threshold:
+            target = "off"
+        elif loss >= self.nb_threshold:
+            target = "non-blocking"
+        else:
+            target = "ordered"
+        # Only demote automatically; promotion back to ordered is an
+        # operator decision (the paper leaves re-enabling to corruptd /
+        # repair workflows).
+        order = {"ordered": 0, "non-blocking": 1, "off": 2}
+        if order[target] <= order[current]:
+            return
+        if target == "non-blocking":
+            self.plink.receiver.switch_to_non_blocking()
+        elif target == "off":
+            self.plink.deactivate()
+        self.transitions.append((self.sim.now, current, target))

@@ -1,0 +1,13 @@
+"""Packet model, protocol headers and era'd sequence numbers."""
+
+from .packet import (
+    LG_HEADER_BYTES, EcnCodepoint, LgAckHeader, LgDataHeader, Packet,
+    PacketKind, RdmaHeader, TcpHeader,
+)
+from .seqno import SEQ_BITS, SEQ_RANGE, SeqCounter, seq_compare, seq_distance
+
+__all__ = [
+    "LG_HEADER_BYTES", "EcnCodepoint", "LgAckHeader", "LgDataHeader",
+    "Packet", "PacketKind", "RdmaHeader", "TcpHeader",
+    "SEQ_BITS", "SEQ_RANGE", "SeqCounter", "seq_compare", "seq_distance",
+]

@@ -1,0 +1,68 @@
+"""Era'd 16-bit sequence numbers (paper §3.5, "Handling seqNo Wrap-around").
+
+LinkGuardian carries a 16-bit seqNo plus an "era bit" that toggles each
+time the counter wraps.  Comparing two sequence numbers from different
+eras applies the paper's "era correction": subtract N/2 (N = range) from
+both, modulo N.  This is correct as long as the two values are less than
+N/2 apart — which the Tx buffer bound guarantees in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SEQ_BITS", "SEQ_RANGE", "SeqCounter", "seq_compare", "seq_distance"]
+
+SEQ_BITS = 16
+SEQ_RANGE = 1 << SEQ_BITS
+_HALF = SEQ_RANGE // 2
+
+
+@dataclass
+class SeqCounter:
+    """Monotonically increasing seqNo with an era bit, as kept by the sender."""
+
+    value: int = 0
+    era: int = 0
+
+    def next(self) -> "SeqCounter":
+        """Advance and return the (value, era) *assigned to this packet*."""
+        assigned = SeqCounter(self.value, self.era)
+        self.value += 1
+        if self.value == SEQ_RANGE:
+            self.value = 0
+            self.era ^= 1
+        return assigned
+
+    def advance(self) -> None:
+        """Increment in place (receiver-side ackNo bookkeeping)."""
+        self.value += 1
+        if self.value == SEQ_RANGE:
+            self.value = 0
+            self.era ^= 1
+
+
+def _corrected(seq_a: int, era_a: int, seq_b: int, era_b: int) -> tuple:
+    if era_a == era_b:
+        return seq_a, seq_b
+    # Different eras: shift both down by N/2 (mod N).  The newer-era value,
+    # which wrapped to a small number, becomes comparable again.
+    return (seq_a - _HALF) % SEQ_RANGE, (seq_b - _HALF) % SEQ_RANGE
+
+
+def seq_compare(seq_a: int, era_a: int, seq_b: int, era_b: int) -> int:
+    """Return -1/0/+1 for a<b, a==b, a>b under era correction.
+
+    Valid while the two live sequence numbers are < N/2 apart, the same
+    assumption the hardware implementation makes.
+    """
+    a, b = _corrected(seq_a, era_a, seq_b, era_b)
+    if a == b:
+        return 0
+    return -1 if a < b else 1
+
+
+def seq_distance(newer: int, era_newer: int, older: int, era_older: int) -> int:
+    """How many packets ``newer`` is ahead of ``older`` (>=0 when in order)."""
+    a, b = _corrected(newer, era_newer, older, era_older)
+    return (a - b) % SEQ_RANGE if a >= b else -((b - a) % SEQ_RANGE)

@@ -1,0 +1,22 @@
+"""Physical-layer models: loss processes, FEC math, attenuation curves."""
+
+from .attenuation import (
+    STANDARD_TRANSCEIVERS, TRANSCEIVER_10G_SR, TRANSCEIVER_25G_SR,
+    TRANSCEIVER_25G_SR_FEC, TRANSCEIVER_50G_SR_FEC, TransceiverModel,
+    attenuation_sweep,
+)
+from .fec import RS_KP4, RS_KR4, RsCode, codeword_failure_prob, frame_loss_rate, symbol_error_rate
+from .loss import (
+    BernoulliLoss, GilbertElliottLoss, LossProcess, NoLoss,
+    burst_length_distribution,
+)
+
+__all__ = [
+    "STANDARD_TRANSCEIVERS", "TRANSCEIVER_10G_SR", "TRANSCEIVER_25G_SR",
+    "TRANSCEIVER_25G_SR_FEC", "TRANSCEIVER_50G_SR_FEC", "TransceiverModel",
+    "attenuation_sweep",
+    "RS_KP4", "RS_KR4", "RsCode", "codeword_failure_prob",
+    "frame_loss_rate", "symbol_error_rate",
+    "BernoulliLoss", "GilbertElliottLoss", "LossProcess", "NoLoss",
+    "burst_length_distribution",
+]

@@ -1,0 +1,161 @@
+"""Per-packet loss processes for a corrupting link.
+
+Two processes are provided:
+
+* :class:`BernoulliLoss` — independent and identically distributed drops,
+  the model behind the paper's analytic effective-loss-rate expectation
+  ``p**(N+1)`` (§3.4).
+* :class:`GilbertElliottLoss` — a two-state bursty process used to study
+  consecutive packet losses (paper Figure 20 and §3.5's provisioning of
+  5 one-bit ``reTxReqs`` registers).  The paper observed that at very high
+  attenuation losses are *not* i.i.d.; Gilbert–Elliott reproduces the
+  short geometric loss bursts they measured.
+
+A loss process answers one question per transmitted frame: is this frame
+corrupted (and therefore dropped by the receiving MAC)?
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "LossProcess", "NoLoss", "BernoulliLoss", "GilbertElliottLoss",
+    "ScriptedLoss", "burst_length_distribution",
+]
+
+
+class LossProcess:
+    """Interface: ``corrupts(packet)`` is called once per frame, in order.
+
+    The frame being transmitted is passed for processes that target
+    specific traffic (test fixtures); physical processes ignore it.
+    """
+
+    #: nominal average loss rate (for reporting / Equation 2)
+    rate: float = 0.0
+
+    def corrupts(self, packet=None) -> bool:
+        raise NotImplementedError
+
+
+class NoLoss(LossProcess):
+    """A healthy link."""
+
+    rate = 0.0
+
+    def corrupts(self, packet=None) -> bool:
+        return False
+
+
+class BernoulliLoss(LossProcess):
+    """I.i.d. corruption with probability ``rate`` per frame."""
+
+    def __init__(self, rate: float, rng: Optional[np.random.Generator] = None) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0,1], got {rate}")
+        self.rate = float(rate)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        # Drawing geometric gaps between losses is ~100x cheaper than one
+        # uniform draw per packet at rates like 1e-5.
+        self._until_next = self._draw_gap()
+
+    def _draw_gap(self) -> int:
+        if self.rate <= 0.0:
+            return -1
+        if self.rate >= 1.0:
+            return 0
+        return int(self._rng.geometric(self.rate)) - 1
+
+    def corrupts(self, packet=None) -> bool:
+        if self._until_next < 0:
+            return False
+        if self._until_next == 0:
+            self._until_next = self._draw_gap()
+            return True
+        self._until_next -= 1
+        return False
+
+
+class GilbertElliottLoss(LossProcess):
+    """Two-state Markov loss: GOOD (no loss) and BAD (loss w.p. ``h``).
+
+    Parameters are derived from the target average loss rate and the mean
+    burst length: with loss probability 1 in BAD, ``p_gb`` (GOOD->BAD) and
+    ``p_bg`` (BAD->GOOD) satisfy
+
+        mean burst length  = 1 / p_bg
+        stationary loss    = p_gb / (p_gb + p_bg)
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        mean_burst: float = 1.35,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0.0 < rate < 1.0:
+            raise ValueError("rate must be in (0,1) for Gilbert-Elliott")
+        if mean_burst < 1.0:
+            raise ValueError("mean burst length must be >= 1 packet")
+        self.rate = float(rate)
+        self.mean_burst = float(mean_burst)
+        self._p_bg = 1.0 / mean_burst
+        self._p_gb = rate * self._p_bg / (1.0 - rate)
+        if self._p_gb > 1.0:
+            raise ValueError("infeasible (rate, mean_burst) combination")
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._bad = False
+
+    def corrupts(self, packet=None) -> bool:
+        if self._bad:
+            if self._rng.random() < self._p_bg:
+                self._bad = False
+        else:
+            if self._rng.random() < self._p_gb:
+                self._bad = True
+        return self._bad
+
+
+class ScriptedLoss(LossProcess):
+    """Drops exactly the frames whose 0-based transmission index is listed.
+
+    Deterministic, for tests and didactic examples: ``ScriptedLoss({3})``
+    corrupts the 4th frame crossing the link and nothing else.
+    """
+
+    def __init__(self, drop_indices) -> None:
+        self.drop_indices = set(drop_indices)
+        self.rate = 0.0
+        self._index = -1
+
+    def corrupts(self, packet=None) -> bool:
+        self._index += 1
+        return self._index in self.drop_indices
+
+    @property
+    def frames_seen(self) -> int:
+        return self._index + 1
+
+
+def burst_length_distribution(
+    process: LossProcess, n_packets: int
+) -> "np.ndarray":
+    """Lengths of consecutive-loss runs observed over ``n_packets`` frames.
+
+    Used by the Figure 20 reproduction: feed a high-rate loss process and
+    histogram how many packets are lost back-to-back.
+    """
+    bursts = []
+    run = 0
+    for _ in range(n_packets):
+        if process.corrupts():
+            run += 1
+        elif run:
+            bursts.append(run)
+            run = 0
+    if run:
+        bursts.append(run)
+    return np.asarray(bursts, dtype=np.int64)

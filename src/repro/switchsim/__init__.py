@@ -1,0 +1,9 @@
+"""Switch, port, queue and link models."""
+
+from .counters import PortCounters
+from .link import Link
+from .port import EgressPort
+from .queues import Queue
+from .switch import Switch, SwitchPort
+
+__all__ = ["PortCounters", "Link", "EgressPort", "Queue", "Switch", "SwitchPort"]

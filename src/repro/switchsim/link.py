@@ -1,0 +1,54 @@
+"""Unidirectional link with corruption injection.
+
+A :class:`Link` carries already-serialized frames from an egress port to
+a receiver callback.  Corruption (per the attached loss process) drops a
+frame at the receiving MAC, exactly as an FCS failure would: the frame
+still consumed wire time and still shows up in ``framesRxAll``, but never
+reaches the ingress pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.engine import Simulator
+from ..packets.packet import Packet
+from ..phy.loss import LossProcess, NoLoss
+from .counters import PortCounters
+
+__all__ = ["Link"]
+
+
+class Link:
+    """One direction of a switch-to-switch (or host-to-switch) cable."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        propagation_ns: int,
+        receiver: Callable[[Packet], None],
+        loss: Optional[LossProcess] = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.propagation_ns = int(propagation_ns)
+        self.receiver = receiver
+        self.loss = loss if loss is not None else NoLoss()
+        self.name = name
+        self.rx_counters = PortCounters()
+        #: optional hook observing (packet, corrupted) for instrumentation
+        self.tap: Optional[Callable[[Packet, bool], None]] = None
+
+    def set_loss(self, loss: Optional[LossProcess]) -> None:
+        """Swap the corruption process at runtime (VOA dial, link repair)."""
+        self.loss = loss if loss is not None else NoLoss()
+
+    def transmit(self, packet: Packet) -> None:
+        """Called by the egress port when the last bit leaves the sender."""
+        corrupted = self.loss.corrupts(packet)
+        if self.tap is not None:
+            self.tap(packet, corrupted)
+        self.rx_counters.record_rx(packet.size, ok=not corrupted)
+        if corrupted:
+            return  # dropped by the receiving MAC
+        self.sim.schedule(self.propagation_ns, self.receiver, packet)

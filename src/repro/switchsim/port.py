@@ -1,0 +1,115 @@
+"""Strict-priority egress port.
+
+An :class:`EgressPort` owns an ordered list of queues (index 0 drains
+first) and serializes one frame at a time onto its link.  Individual
+queues can be paused and resumed — the PFC-style primitive LinkGuardian's
+backpressure uses to throttle only the *normal packet queue* while
+letting retransmissions through (paper §3.3/§3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..core.engine import Simulator
+from ..packets.packet import Packet
+from ..units import serialization_ns
+from .counters import PortCounters
+from .link import Link
+from .queues import Queue
+
+__all__ = ["EgressPort"]
+
+
+class EgressPort:
+    """Serializes frames from strict-priority queues onto a link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: int,
+        link: Link,
+        queues: Optional[List[Queue]] = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.rate_bps = int(rate_bps)
+        self.link = link
+        self.queues: List[Queue] = queues if queues is not None else [Queue()]
+        self.name = name
+        self.tx_counters = PortCounters()
+        self._paused = [False] * len(self.queues)
+        self._busy = False
+        #: hook called as on_transmit(packet, queue_index) when a frame's
+        #: last bit leaves — LinkGuardian uses it for egress mirroring
+        #: (Tx-buffer copies, self-replenishing ACK/dummy queues).
+        self.on_transmit: Optional[Callable[[Packet, int], None]] = None
+        #: hook called as on_dequeue(packet, queue_index) the instant a
+        #: frame is pulled for serialization — the egress-pipeline point
+        #: where LinkGuardian stamps fresh ACK/dummy header values.
+        self.on_dequeue: Optional[Callable[[Packet, int], None]] = None
+
+    # -- queue management ---------------------------------------------------
+
+    def add_queue(self, queue: Queue) -> int:
+        """Append a (lowest-priority) queue; returns its index."""
+        self.queues.append(queue)
+        self._paused.append(False)
+        return len(self.queues) - 1
+
+    def enqueue(self, packet: Packet, queue_index: int = 0) -> bool:
+        """Push into a queue and kick the serializer.  False on tail drop."""
+        accepted = self.queues[queue_index].push(packet)
+        if accepted:
+            self._kick()
+        return accepted
+
+    def pause(self, queue_index: int) -> None:
+        """PFC-style pause: the queue stops draining at a frame boundary."""
+        self._paused[queue_index] = True
+
+    def resume(self, queue_index: int) -> None:
+        if self._paused[queue_index]:
+            self._paused[queue_index] = False
+            self._kick()
+
+    def is_paused(self, queue_index: int) -> bool:
+        return self._paused[queue_index]
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def backlog_bytes(self) -> int:
+        return sum(q.depth_bytes for q in self.queues)
+
+    # -- serializer ----------------------------------------------------------
+
+    def _select(self) -> Optional[int]:
+        for index, queue in enumerate(self.queues):
+            if not self._paused[index] and len(queue):
+                return index
+        return None
+
+    def _kick(self) -> None:
+        if self._busy:
+            return
+        index = self._select()
+        if index is None:
+            return
+        self._busy = True
+        packet = self.queues[index].pop()
+        if self.on_dequeue is not None:
+            self.on_dequeue(packet, index)
+        self.tx_counters.record_tx(packet.size)
+        self.sim.schedule(
+            serialization_ns(packet.size, self.rate_bps),
+            self._finish, packet, index,
+        )
+
+    def _finish(self, packet: Packet, queue_index: int) -> None:
+        self._busy = False
+        self.link.transmit(packet)
+        if self.on_transmit is not None:
+            self.on_transmit(packet, queue_index)
+        self._kick()

@@ -1,0 +1,5 @@
+"""Wharf link-local FEC comparator."""
+
+from .model import WharfFec, best_parameters
+
+__all__ = ["WharfFec", "best_parameters"]

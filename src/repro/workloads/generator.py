@@ -1,0 +1,63 @@
+"""Open-loop flow arrival generation.
+
+Produces (arrival_time_ns, size_bytes) pairs: Poisson arrivals whose
+rate is derived from a target offered load on a given link speed, the
+standard datacenter-workload methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from ..units import SEC
+from .flowsizes import FlowSizeDistribution
+
+__all__ = ["FlowArrival", "PoissonFlowGenerator"]
+
+
+@dataclass(frozen=True)
+class FlowArrival:
+    time_ns: int
+    size_bytes: int
+    flow_id: int
+
+
+class PoissonFlowGenerator:
+    """Poisson flow arrivals at a target load of a link."""
+
+    def __init__(
+        self,
+        distribution: FlowSizeDistribution,
+        link_rate_bps: int,
+        load: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if not 0.0 < load < 1.0:
+            raise ValueError("load must be in (0,1)")
+        self.distribution = distribution
+        self.link_rate_bps = int(link_rate_bps)
+        self.load = float(load)
+        self.rng = rng
+        mean_bytes = distribution.mean()
+        flows_per_sec = load * link_rate_bps / 8.0 / mean_bytes
+        self.mean_interarrival_ns = SEC / flows_per_sec
+
+    def generate(self, n_flows: int, start_id: int = 0) -> List[FlowArrival]:
+        gaps = self.rng.exponential(self.mean_interarrival_ns, n_flows)
+        times = np.cumsum(gaps).astype(np.int64)
+        sizes = self.distribution.sample(self.rng, n_flows)
+        return [
+            FlowArrival(int(t), int(s), start_id + i)
+            for i, (t, s) in enumerate(zip(times, sizes))
+        ]
+
+    def __iter__(self) -> Iterator[FlowArrival]:  # pragma: no cover - convenience
+        flow_id = 0
+        time_ns = 0
+        while True:
+            time_ns += int(self.rng.exponential(self.mean_interarrival_ns))
+            yield FlowArrival(time_ns, int(self.distribution.sample(self.rng, 1)[0]), flow_id)
+            flow_id += 1

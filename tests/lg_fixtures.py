@@ -1,0 +1,116 @@
+"""Shared fixture: a two-switch testbed with one protected link.
+
+Mirrors the sw2 -> sw6 corrupting link from the paper's Figure 7 at unit
+scale: packets injected at the sender switch, a sink collecting what the
+receiver switch forwards, and an optional reverse-traffic path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.engine import Simulator
+from repro.linkguardian.config import LinkGuardianConfig
+from repro.linkguardian.protocol import ProtectedLink
+from repro.packets.packet import Packet, PacketKind
+from repro.phy.loss import LossProcess
+from repro.switchsim.link import Link
+from repro.switchsim.switch import Switch
+from repro.units import MTU_FRAME, gbps, serialization_ns
+
+
+class KindTargetedLoss(LossProcess):
+    """Drops the first ``count`` frames of a given kind (deterministic)."""
+
+    def __init__(self, kind: PacketKind, count: int, also_indices=()) -> None:
+        self.kind = kind
+        self.remaining = count
+        self.also = set(also_indices)
+        self.rate = 0.0
+        self._index = -1
+
+    def corrupts(self, packet=None) -> bool:
+        self._index += 1
+        if self._index in self.also:
+            return True
+        if packet is not None and packet.kind is self.kind and self.remaining > 0:
+            self.remaining -= 1
+            return True
+        return False
+
+
+class DataIndexLoss(LossProcess):
+    """Drops DATA frames by their 0-based *data* index, ignoring dummies."""
+
+    def __init__(self, drop_data_indices) -> None:
+        self.drop = set(drop_data_indices)
+        self.rate = 0.0
+        self._data_index = -1
+
+    def corrupts(self, packet=None) -> bool:
+        if packet is not None and packet.kind is PacketKind.DATA:
+            self._data_index += 1
+            return self._data_index in self.drop
+        return False
+
+
+@dataclass
+class LgTestbed:
+    sim: Simulator
+    sender_switch: Switch
+    receiver_switch: Switch
+    plink: ProtectedLink
+    delivered: List[Packet] = field(default_factory=list)
+    reverse_delivered: List[Packet] = field(default_factory=list)
+
+    def inject(self, count: int, size: int = MTU_FRAME, spacing_ns: Optional[int] = None,
+               start_ns: int = 0, dst: str = "dst") -> None:
+        """Schedule ``count`` data packets into the sender switch."""
+        if spacing_ns is None:
+            spacing_ns = serialization_ns(size, self.plink.rate_bps)
+        for index in range(count):
+            packet = Packet(size=size, dst=dst, flow_id=index)
+            self.sim.schedule_at(
+                start_ns + index * spacing_ns, self.sender_switch.forward, packet
+            )
+
+    def inject_reverse(self, count: int, size: int = MTU_FRAME, spacing_ns: int = 1000) -> None:
+        for index in range(count):
+            packet = Packet(size=size, dst="rsrc", flow_id=1000 + index)
+            self.sim.schedule_at(index * spacing_ns, self.receiver_switch.forward, packet)
+
+    def delivered_ids(self) -> List[int]:
+        return [p.flow_id for p in self.delivered]
+
+
+def build_testbed(
+    ordered: bool = True,
+    loss: Optional[LossProcess] = None,
+    rate_bps: int = gbps(100),
+    activate_loss_rate: Optional[float] = 1e-4,
+    **config_overrides,
+) -> LgTestbed:
+    sim = Simulator()
+    sender_switch = Switch(sim, "sw2")
+    receiver_switch = Switch(sim, "sw6")
+    config = LinkGuardianConfig(ordered=ordered, **config_overrides)
+    plink = ProtectedLink(
+        sim, sender_switch, receiver_switch,
+        rate_bps=rate_bps, config=config, loss=loss,
+    )
+    testbed = LgTestbed(sim, sender_switch, receiver_switch, plink)
+
+    sink_link = Link(sim, 10, receiver=testbed.delivered.append)
+    receiver_switch.add_port("sink", rate_bps, sink_link)
+    receiver_switch.set_route("dst", "sink")
+    sender_switch.set_route("dst", plink.forward_port_name)
+
+    reverse_sink = Link(sim, 10, receiver=testbed.reverse_delivered.append)
+    sender_switch.add_port("rsink", rate_bps, reverse_sink)
+    sender_switch.set_route("rsrc", "rsink")
+    receiver_switch.set_route("rsrc", plink.reverse_port_name)
+
+    if activate_loss_rate is not None:
+        plink.activate(activate_loss_rate)
+    return testbed

@@ -1,0 +1,151 @@
+"""Tests for bidirectional LinkGuardian (§5)."""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.linkguardian.bidirectional import BidirectionalProtectedLink
+from repro.linkguardian.config import LinkGuardianConfig
+from repro.packets.packet import Packet, PacketKind
+from repro.phy.loss import LossProcess
+from repro.switchsim.link import Link
+from repro.switchsim.switch import Switch
+from repro.units import MS, MTU_FRAME, gbps, serialization_ns
+
+
+class DataIndexLoss(LossProcess):
+    """Drop DATA frames by 0-based data index (ignores control/dummies)."""
+
+    def __init__(self, drop):
+        self.drop = set(drop)
+        self.rate = 0.0
+        self._index = -1
+
+    def corrupts(self, packet=None):
+        if packet is not None and packet.kind is PacketKind.DATA:
+            self._index += 1
+            return self._index in self.drop
+        return False
+
+
+def build_bidi(loss_ab=None, loss_ba=None, active=True, **config_kw):
+    sim = Simulator()
+    sw_a, sw_b = Switch(sim, "swA"), Switch(sim, "swB")
+    config = LinkGuardianConfig(control_copies=2, **config_kw)
+    bidi = BidirectionalProtectedLink(
+        sim, sw_a, sw_b, rate_bps=gbps(100), config=config,
+        loss_ab=loss_ab, loss_ba=loss_ba,
+    )
+    sink_a, sink_b = [], []
+    sw_a.add_port("sinkA", gbps(100), Link(sim, 10, receiver=sink_a.append))
+    sw_b.add_port("sinkB", gbps(100), Link(sim, 10, receiver=sink_b.append))
+    sw_a.set_route("hostA", "sinkA")
+    sw_b.set_route("hostB", "sinkB")
+    sw_a.set_route("hostB", bidi.port_ab_name)
+    sw_b.set_route("hostA", bidi.port_ba_name)
+    if active:
+        bidi.activate(1e-3)
+    return sim, sw_a, sw_b, bidi, sink_a, sink_b
+
+
+def inject(sim, switch, dst, count, base_flow=0):
+    spacing = serialization_ns(MTU_FRAME, gbps(100))
+    for index in range(count):
+        packet = Packet(size=MTU_FRAME, dst=dst, flow_id=base_flow + index)
+        sim.schedule_at(index * spacing, switch.forward, packet)
+
+
+class TestBidirectionalCleanPath:
+    def test_both_directions_deliver_in_order(self):
+        sim, sw_a, sw_b, bidi, sink_a, sink_b = build_bidi()
+        inject(sim, sw_a, "hostB", 40)
+        inject(sim, sw_b, "hostA", 40, base_flow=100)
+        sim.run(until=1 * MS)
+        assert [p.flow_id for p in sink_b] == list(range(40))
+        assert [p.flow_id for p in sink_a] == list(range(100, 140))
+        summary = bidi.summary()
+        assert summary["a->b"]["protected"] == 40
+        assert summary["b->a"]["protected"] == 40
+
+    def test_headers_stripped_on_delivery(self):
+        sim, sw_a, sw_b, bidi, sink_a, sink_b = build_bidi()
+        inject(sim, sw_a, "hostB", 10)
+        sim.run(until=1 * MS)
+        assert all(p.size == MTU_FRAME for p in sink_b)
+        assert all(p.lg is None and p.lg_ack is None for p in sink_b)
+
+    def test_dormant_is_transparent(self):
+        sim, sw_a, sw_b, bidi, sink_a, sink_b = build_bidi(active=False)
+        inject(sim, sw_a, "hostB", 10)
+        sim.run(until=1 * MS)
+        assert len(sink_b) == 10
+        assert all(p.size == MTU_FRAME for p in sink_b)
+        assert bidi.a.sender.stats.protected == 0
+
+
+class TestBidirectionalRecovery:
+    def test_forward_direction_loss_recovered(self):
+        sim, sw_a, sw_b, bidi, sink_a, sink_b = build_bidi(
+            loss_ab=DataIndexLoss({5}))
+        inject(sim, sw_a, "hostB", 40)
+        inject(sim, sw_b, "hostA", 40, base_flow=100)
+        sim.run(until=1 * MS)
+        assert [p.flow_id for p in sink_b] == list(range(40))
+        assert bidi.summary()["a->b"]["recovered"] == 1
+
+    def test_reverse_direction_loss_recovered(self):
+        sim, sw_a, sw_b, bidi, sink_a, sink_b = build_bidi(
+            loss_ba=DataIndexLoss({5}))
+        inject(sim, sw_a, "hostB", 40)
+        inject(sim, sw_b, "hostA", 40, base_flow=100)
+        sim.run(until=1 * MS)
+        assert [p.flow_id for p in sink_a] == list(range(100, 140))
+        assert bidi.summary()["b->a"]["recovered"] == 1
+
+    def test_simultaneous_losses_both_directions(self):
+        sim, sw_a, sw_b, bidi, sink_a, sink_b = build_bidi(
+            loss_ab=DataIndexLoss({3, 17}), loss_ba=DataIndexLoss({8}))
+        inject(sim, sw_a, "hostB", 60)
+        inject(sim, sw_b, "hostA", 60, base_flow=100)
+        sim.run(until=2 * MS)
+        assert [p.flow_id for p in sink_b] == list(range(60))
+        assert [p.flow_id for p in sink_a] == list(range(100, 160))
+        summary = bidi.summary()
+        assert summary["a->b"]["recovered"] == 2
+        assert summary["b->a"]["recovered"] == 1
+        assert summary["a->b"]["timeouts"] == 0
+        assert summary["b->a"]["timeouts"] == 0
+
+    def test_duplicated_control_survives_control_loss(self):
+        """control_copies=2 (the §5 hardening) lets a loss notification
+        survive a corrupted copy on a bidirectionally-corrupting link."""
+
+        class FirstNotifLoss(LossProcess):
+            def __init__(self):
+                self.rate = 0.0
+                self.dropped = False
+
+            def corrupts(self, packet=None):
+                if (packet is not None
+                        and packet.kind is PacketKind.LG_LOSS_NOTIF
+                        and not self.dropped):
+                    self.dropped = True
+                    return True
+                return False
+
+        sim, sw_a, sw_b, bidi, sink_a, sink_b = build_bidi(
+            loss_ab=DataIndexLoss({5}), loss_ba=FirstNotifLoss())
+        inject(sim, sw_a, "hostB", 40)
+        sim.run(until=2 * MS)
+        assert [p.flow_id for p in sink_b] == list(range(40))
+        assert bidi.summary()["a->b"]["timeouts"] == 0
+
+    def test_tail_loss_recovered_in_both_directions(self):
+        sim, sw_a, sw_b, bidi, sink_a, sink_b = build_bidi(
+            loss_ab=DataIndexLoss({9}), loss_ba=DataIndexLoss({9}))
+        inject(sim, sw_a, "hostB", 10)
+        inject(sim, sw_b, "hostA", 10, base_flow=100)
+        sim.run(until=1 * MS)
+        assert len(sink_b) == 10 and len(sink_a) == 10
+        summary = bidi.summary()
+        assert summary["a->b"]["timeouts"] == 0
+        assert summary["b->a"]["timeouts"] == 0

@@ -1,0 +1,41 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import COMMANDS, main
+
+
+class TestCli:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in COMMANDS:
+            assert name in out
+
+    def test_fig20_runs(self, capsys):
+        assert main(["fig20"]) == 0
+        out = capsys.readouterr().out
+        assert "loss" in out and "0.05" in out
+
+    def test_fig01_runs(self, capsys):
+        assert main(["fig01"]) == 0
+        out = capsys.readouterr().out
+        assert "50GBASE-SR (FEC)" in out
+
+    def test_tab01_runs(self, capsys):
+        assert main(["tab01"]) == 0
+        assert "published_%" in capsys.readouterr().out
+
+    def test_fig13_small(self, capsys):
+        assert main(["fig13", "--trials", "60", "--loss-rate", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "affected" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_every_command_registered_with_description(self):
+        for name, (func, description) in COMMANDS.items():
+            assert callable(func)
+            assert description

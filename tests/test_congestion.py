@@ -1,0 +1,149 @@
+"""Unit tests for the congestion-control algorithms."""
+
+import pytest
+
+from repro.transport.congestion import BbrCC, CongestionControl, CubicCC, DctcpCC
+
+
+class TestBaseReno:
+    def test_slow_start_doubles_per_window(self):
+        cc = CongestionControl()
+        start = cc.cwnd
+        cc.on_ack(start, False, 30_000, 0)   # a full window acked
+        assert cc.cwnd == 2 * start
+
+    def test_congestion_avoidance_one_mss_per_window(self):
+        cc = CongestionControl()
+        cc.ssthresh = cc.cwnd  # leave slow start
+        start = cc.cwnd
+        cc.on_ack(start, False, 30_000, 0)
+        assert cc.cwnd == start + cc.mss
+
+    def test_loss_event_halves(self):
+        cc = CongestionControl()
+        cc.cwnd = 100_000
+        cc.on_loss_event(0)
+        assert cc.cwnd == 50_000
+        assert cc.ssthresh == 50_000
+
+    def test_rto_collapses_to_min(self):
+        cc = CongestionControl()
+        cc.cwnd = 100_000
+        cc.on_rto(0)
+        assert cc.cwnd == cc.min_cwnd
+
+    def test_never_below_min_cwnd(self):
+        cc = CongestionControl()
+        cc.cwnd = cc.min_cwnd
+        cc.on_loss_event(0)
+        assert cc.cwnd >= cc.min_cwnd
+
+    def test_unpaced_by_default(self):
+        assert CongestionControl().pacing_rate_bps(0) is None
+
+
+class TestDctcp:
+    def test_alpha_decays_without_marks(self):
+        cc = DctcpCC(g=0.25)
+        cc.ssthresh = cc.cwnd
+        for _ in range(4):
+            cc.on_ack(cc.cwnd, False, 10_000, 0)
+        assert cc.alpha == pytest.approx(1.0 * 0.75 ** 4)
+
+    def test_alpha_rises_with_full_marking(self):
+        cc = DctcpCC(g=0.25)
+        cc.alpha = 0.0
+        cc.ssthresh = cc.cwnd
+        cc.on_ack(cc.cwnd, True, 10_000, 0)
+        assert cc.alpha == pytest.approx(0.25)
+
+    def test_cut_once_per_window(self):
+        cc = DctcpCC()
+        cc.cwnd = 100 * cc.mss
+        cc.ssthresh = cc.cwnd
+        cc.alpha = 0.5
+        before = cc.cwnd
+        cc.on_ack(cc.mss, True, 10_000, 0)
+        after_first = cc.cwnd
+        assert after_first == int(before * 0.75)
+        cc.on_ack(cc.mss, True, 10_000, 0)
+        assert cc.cwnd == after_first  # no second cut in the same window
+
+    def test_fractional_marking_converges(self):
+        """F=0.5 marking drives alpha toward 0.5."""
+        cc = DctcpCC(g=0.5)
+        cc.ssthresh = 1
+        cc.cwnd = 4 * cc.mss
+        for _ in range(40):
+            cc.on_ack(2 * cc.mss, True, 10_000, 0)
+            cc.on_ack(2 * cc.mss, False, 10_000, 0)
+        assert cc.alpha == pytest.approx(0.5, abs=0.15)
+
+
+class TestCubic:
+    def test_beta_07_on_loss(self):
+        cc = CubicCC()
+        cc.cwnd = 200_000
+        cc.on_loss_event(0)
+        assert cc.cwnd == int(200_000 * 0.7)
+
+    def test_window_grows_toward_wmax(self):
+        cc = CubicCC()
+        cc.cwnd = 50 * cc.mss
+        cc.ssthresh = cc.cwnd
+        cc._w_max = 100.0  # MSS
+        now = 0
+        for _ in range(200):
+            now += 30_000
+            cc.on_ack(cc.mss, False, 30_000, now)
+        assert cc.cwnd > 50 * cc.mss
+
+    def test_epoch_reset_on_rto(self):
+        cc = CubicCC()
+        cc._epoch_start_ns = 123
+        cc.on_rto(0)
+        assert cc._epoch_start_ns is None
+        assert cc.cwnd == cc.min_cwnd
+
+
+class TestBbr:
+    def test_startup_until_bandwidth_plateau(self):
+        cc = BbrCC()
+        assert cc._state == "startup"
+        cc.on_ack(cc.mss, False, 30_000, 0)
+        # Constant-bandwidth samples end startup after 3 rounds.
+        for i in range(1, 8):
+            cc.deliver_sample(30_000, 30_000, i * 30_000)
+        assert cc._state in ("drain", "probe_bw")
+
+    def test_bdp_cwnd(self):
+        cc = BbrCC()
+        cc.on_ack(cc.mss, False, 30_000, 0)        # min_rtt = 30 us
+        cc.deliver_sample(37_500, 30_000, 30_000)  # 10 Gb/s
+        cc.on_ack(cc.mss, False, 30_000, 60_000)
+        bdp = 10e9 / 8 * 30e-6
+        assert cc.cwnd == pytest.approx(2 * bdp, rel=0.05)
+
+    def test_pacing_rate_tracks_bandwidth(self):
+        cc = BbrCC()
+        cc.on_ack(cc.mss, False, 30_000, 0)
+        cc.deliver_sample(37_500, 30_000, 30_000)
+        rate = cc.pacing_rate_bps(30_000)
+        assert rate is not None
+        assert rate >= 10e9  # startup gain > 1
+
+    def test_loss_agnostic(self):
+        cc = BbrCC()
+        cc.cwnd = 99_999
+        cc.on_loss_event(0)
+        assert cc.cwnd == 99_999
+
+    def test_probe_cycle_gains(self):
+        cc = BbrCC()
+        cc._state = "probe_bw"
+        cc._min_rtt_ns = 30_000
+        cc._btlbw_bps = 10e9
+        gains = set()
+        for t in range(0, 20 * 30_000, 30_000):
+            gains.add(round(cc._gain(t), 2))
+        assert 1.25 in gains and 0.75 in gains

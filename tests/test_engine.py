@@ -1,0 +1,100 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.core.engine import SimError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, order.append, "c")
+    sim.schedule(10, order.append, "a")
+    sim.schedule(20, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.schedule(100, order.append, tag)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_run_until_advances_clock_even_when_idle():
+    sim = Simulator()
+    sim.run(until=5_000)
+    assert sim.now == 5_000
+
+
+def test_run_until_does_not_fire_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, fired.append, 1)
+    sim.schedule(900, fired.append, 2)
+    sim.run(until=500)
+    assert fired == [1]
+    assert sim.now == 500
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10, fired.append, "no")
+    sim.schedule(5, event.cancel)
+    sim.run()
+    assert fired == []
+
+
+def test_events_scheduled_during_run_are_dispatched():
+    sim = Simulator()
+    seen = []
+
+    def chain(depth):
+        seen.append(sim.now)
+        if depth:
+            sim.schedule(7, chain, depth - 1)
+
+    sim.schedule(0, chain, 3)
+    sim.run()
+    assert seen == [0, 7, 14, 21]
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimError):
+        sim.schedule_at(5, lambda: None)
+    with pytest.raises(SimError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1, forever)
+
+    sim.schedule(0, forever)
+    sim.run(max_events=50)
+    assert sim.events_processed == 50
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    event = sim.schedule(10, lambda: None)
+    sim.schedule(20, lambda: None)
+    event.cancel()
+    assert sim.peek() == 20
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False

@@ -1,0 +1,305 @@
+"""Integration tests: tail loss, backpressure, timeouts, era wrap, reverse path."""
+
+from lg_fixtures import DataIndexLoss, KindTargetedLoss, build_testbed
+
+from repro.packets.packet import PacketKind
+from repro.packets.seqno import SEQ_RANGE, SeqCounter
+from repro.units import KB, MS, US
+
+
+class TestTailLossDetection:
+    def test_tail_loss_recovered_via_dummy_without_timeout(self):
+        """The last packet of a burst is lost; the dummy queue detects it
+        at microsecond scale — no ackNoTimeout fires (§3.2)."""
+        testbed = build_testbed(loss=DataIndexLoss({9}))
+        testbed.inject(10)  # packet 9 is the tail
+        testbed.sim.run(until=1 * MS)
+        stats = testbed.plink.summary()
+        assert testbed.delivered_ids() == list(range(10))
+        assert stats["recovered"] == 1
+        assert stats["timeouts"] == 0
+        assert testbed.plink.receiver.stats.dummies_seen > 0
+
+    def test_tail_loss_detection_latency(self):
+        """Dummy-based detection happens within a few microseconds."""
+        testbed = build_testbed(loss=DataIndexLoss({9}))
+        testbed.inject(10)
+        testbed.sim.run(until=1 * MS)
+        delays = testbed.plink.receiver.stats.retx_delays_ns
+        assert len(delays) == 1 and delays[0] < 10 * US
+
+    def test_without_dummies_tail_loss_goes_undetected(self):
+        """Ablation: disable the dummy queue and the tail loss is invisible
+        to LinkGuardian (the transport would need its own RTO)."""
+        testbed = build_testbed(loss=DataIndexLoss({9}), tail_loss_detection=False)
+        testbed.inject(10)
+        testbed.sim.run(until=1 * MS)
+        stats = testbed.plink.summary()
+        assert len(testbed.delivered) == 9
+        assert stats["recovered"] == 0
+        assert stats["loss_events"] == 0
+
+    def test_single_packet_flow_tail_loss(self):
+        """A one-packet flow whose only packet is lost is still recovered."""
+        testbed = build_testbed(loss=DataIndexLoss({0}))
+        testbed.inject(1)
+        testbed.sim.run(until=1 * MS)
+        assert testbed.delivered_ids() == [0]
+        assert testbed.plink.summary()["timeouts"] == 0
+
+    def test_dummy_and_tail_both_lost_single_dummy(self):
+        """If the tail packet and the next dummy are both corrupted, a later
+        replenished dummy still detects the loss (§5, bursty losses)."""
+
+        class TailAndDummyLoss(DataIndexLoss):
+            def __init__(self):
+                super().__init__({9})
+                self.dummies_dropped = 0
+
+            def corrupts(self, packet=None):
+                if (
+                    packet is not None
+                    and packet.kind is PacketKind.LG_DUMMY
+                    and self.dummies_dropped < 1
+                    and self._data_index >= 8
+                ):
+                    self.dummies_dropped += 1
+                    return True
+                return super().corrupts(packet)
+
+        testbed = build_testbed(loss=TailAndDummyLoss())
+        testbed.inject(10)
+        testbed.sim.run(until=1 * MS)
+        assert testbed.delivered_ids() == list(range(10))
+
+    def test_multiple_dummy_copies_config(self):
+        testbed = build_testbed(loss=DataIndexLoss({9}), dummy_copies=3)
+        testbed.inject(10)
+        testbed.sim.run(until=200 * US)
+        assert testbed.delivered_ids() == list(range(10))
+
+
+class TestRetxLossAndTimeout:
+    def test_all_retx_copies_lost_triggers_timeout(self):
+        """Original + every retransmitted copy lost: ackNoTimeout gives up
+        and the stream continues without the packet (§3.5)."""
+        loss = KindTargetedLoss(PacketKind.LG_RETX, count=1)
+        loss.also = set()  # drop retx copies only after the data drop below
+
+        class Both(KindTargetedLoss):
+            pass
+
+        loss = Both(PacketKind.LG_RETX, count=1)
+        data_loss = DataIndexLoss({10})
+
+        class Combined(DataIndexLoss):
+            def __init__(self):
+                super().__init__({10})
+                self.retx_left = 1  # N=1 for loss rate 1e-4
+
+            def corrupts(self, packet=None):
+                if packet is not None and packet.kind is PacketKind.LG_RETX and self.retx_left:
+                    self.retx_left -= 1
+                    return True
+                return super().corrupts(packet)
+
+        testbed = build_testbed(loss=Combined())
+        testbed.inject(50)
+        testbed.sim.run(until=1 * MS)
+        stats = testbed.plink.summary()
+        assert stats["timeouts"] == 1
+        assert stats["recovered"] == 0
+        expected = [i for i in range(50) if i != 10]
+        assert testbed.delivered_ids() == expected
+
+    def test_one_of_two_retx_copies_suffices(self):
+        """N=2 copies; the first copy is lost, the second recovers."""
+
+        class DropFirstRetx(DataIndexLoss):
+            def __init__(self):
+                super().__init__({10})
+                self.retx_dropped = False
+
+            def corrupts(self, packet=None):
+                if (
+                    packet is not None
+                    and packet.kind is PacketKind.LG_RETX
+                    and not self.retx_dropped
+                ):
+                    self.retx_dropped = True
+                    return True
+                return super().corrupts(packet)
+
+        testbed = build_testbed(loss=DropFirstRetx(), activate_loss_rate=1e-3)
+        testbed.inject(50)
+        testbed.sim.run(until=1 * MS)
+        stats = testbed.plink.summary()
+        assert stats["timeouts"] == 0
+        assert testbed.delivered_ids() == list(range(50))
+
+    def test_timeout_respects_timer_quantization(self):
+        testbed = build_testbed()
+        config = testbed.plink.config
+        assert config.quantize_timer(7_001) == 7_100
+        assert config.quantize_timer(7_100) == 7_100
+
+
+class TestBackpressure:
+    def _congested_testbed(self, **overrides):
+        """A long recirculation loop delays recovery so the reordering
+        buffer builds at line rate."""
+        defaults = dict(
+            loss=DataIndexLoss({50}),
+            recirc_loop_ns=30_000,
+            ack_no_timeout_ns=120_000,
+            resume_threshold_bytes=37 * KB,
+        )
+        defaults.update(overrides)
+        return build_testbed(**defaults)
+
+    def test_pause_and_resume_are_sent(self):
+        testbed = self._congested_testbed()
+        testbed.inject(600)
+        testbed.sim.run(until=2 * MS)
+        stats = testbed.plink.summary()
+        assert stats["pauses"] >= 1
+        assert stats["resumes"] >= 1
+        assert stats["overflow_drops"] == 0
+        assert testbed.delivered_ids() == list(range(600))
+
+    def test_sender_normal_queue_actually_paused(self):
+        testbed = self._congested_testbed()
+        testbed.inject(600)
+        # Run until shortly after the loss; the queue must be paused.
+        pauses_seen = []
+
+        def probe():
+            port = testbed.plink.sender_port.egress
+            pauses_seen.append(port.is_paused(1))
+            if testbed.sim.now < 300_000:
+                testbed.sim.schedule(1_000, probe)
+
+        testbed.sim.schedule(5_000, probe)
+        testbed.sim.run(until=2 * MS)
+        assert any(pauses_seen)
+        assert not testbed.plink.sender_port.egress.is_paused(1)  # resumed at end
+
+    def test_buffer_kept_near_thresholds(self):
+        testbed = self._congested_testbed()
+        testbed.inject(600)
+        testbed.sim.run(until=2 * MS)
+        occupancy = testbed.plink.receiver.rx_occupancy
+        occupancy.finish(testbed.sim.now)
+        # Max occupancy overshoots pauseThreshold only by the in-flight
+        # data (tflight), never anywhere near the 200 KB capacity.
+        assert occupancy.max_value < 120 * KB
+
+    def test_disabled_backpressure_overflows(self):
+        """Figure 9b: without backpressure the reordering buffer overflows
+        and the transport sees (congestion-like) drops."""
+        testbed = self._congested_testbed(
+            backpressure=False, rx_buffer_capacity_bytes=60 * KB
+        )
+        testbed.inject(600)
+        testbed.sim.run(until=2 * MS)
+        stats = testbed.plink.summary()
+        assert stats["pauses"] == 0
+        assert stats["overflow_drops"] > 0
+        assert len(testbed.delivered) < 600
+
+    def test_nb_mode_needs_no_backpressure(self):
+        testbed = build_testbed(ordered=False, loss=DataIndexLoss({50}),
+                                recirc_loop_ns=30_000)
+        testbed.inject(600)
+        testbed.sim.run(until=2 * MS)
+        stats = testbed.plink.summary()
+        assert stats["pauses"] == 0
+        assert sorted(testbed.delivered_ids()) == list(range(600))
+        occupancy = testbed.plink.receiver.rx_occupancy
+        assert occupancy.max_value == 0  # NB mode never buffers
+
+
+class TestEraWraparound:
+    def _shift_counters(self, testbed, value, era=0):
+        plink = testbed.plink
+        plink.sender._seq = SeqCounter(value=value, era=era)
+        plink.sender._acked_next = (value, era)
+        plink.receiver._next_rx = SeqCounter(value=value, era=era)
+        plink.receiver._ack_no = SeqCounter(value=value, era=era)
+
+    def test_clean_stream_across_wrap(self):
+        testbed = build_testbed()
+        self._shift_counters(testbed, SEQ_RANGE - 10)
+        testbed.inject(40)
+        testbed.sim.run(until=1 * MS)
+        assert testbed.delivered_ids() == list(range(40))
+        assert testbed.plink.sender._seq.era == 1
+
+    def test_loss_recovery_spanning_wrap(self):
+        """The lost packet is in era 0, subsequent ones in era 1."""
+        testbed = build_testbed(loss=DataIndexLoss({8}))
+        self._shift_counters(testbed, SEQ_RANGE - 10)
+        testbed.inject(40)
+        testbed.sim.run(until=1 * MS)
+        assert testbed.delivered_ids() == list(range(40))
+        assert testbed.plink.summary()["recovered"] == 1
+        assert testbed.plink.summary()["timeouts"] == 0
+
+    def test_loss_of_first_packet_of_new_era(self):
+        testbed = build_testbed(loss=DataIndexLoss({10}))
+        self._shift_counters(testbed, SEQ_RANGE - 10)
+        testbed.inject(40)
+        testbed.sim.run(until=1 * MS)
+        assert testbed.delivered_ids() == list(range(40))
+
+
+class TestReverseDirection:
+    def test_reverse_traffic_carries_piggybacked_acks(self):
+        testbed = build_testbed()
+        testbed.inject(100)
+        testbed.inject_reverse(50, spacing_ns=2_000)
+        testbed.sim.run(until=2 * MS)
+        assert testbed.delivered_ids() == list(range(100))
+        # Reverse traffic was delivered intact (ACK header stripped).
+        assert len(testbed.reverse_delivered) == 50
+        assert all(p.lg_ack is None for p in testbed.reverse_delivered)
+        assert all(p.size == 1518 for p in testbed.reverse_delivered)
+
+    def test_explicit_acks_flow_when_reverse_idle(self):
+        testbed = build_testbed()
+        testbed.inject(10)
+        testbed.sim.run(until=200 * US)
+        assert testbed.plink.receiver.stats.explicit_acks > 10
+
+    def test_control_copies_for_bidirectional_hardening(self):
+        testbed = build_testbed(loss=DataIndexLoss({10}), control_copies=3)
+        testbed.inject(50)
+        testbed.sim.run(until=1 * MS)
+        # Triplicated notifications are idempotent at the sender.
+        assert testbed.plink.summary()["retx_events"] == 1
+        assert testbed.delivered_ids() == list(range(50))
+
+    def test_notification_lost_falls_back_to_timeout(self):
+        """Reverse-direction corruption killing the loss notification:
+        the receiver's ackNoTimeout eventually gives up."""
+        testbed = build_testbed(loss=DataIndexLoss({10}))
+        reverse = KindTargetedLoss(PacketKind.LG_LOSS_NOTIF, count=10)
+        testbed.plink.reverse_link.set_loss(reverse)
+        testbed.inject(50)
+        testbed.sim.run(until=2 * MS)
+        stats = testbed.plink.summary()
+        assert stats["timeouts"] == 1
+        expected = [i for i in range(50) if i != 10]
+        assert testbed.delivered_ids() == expected
+
+    def test_notification_copies_survive_reverse_corruption(self):
+        """With control_copies=2 a single reverse drop does not lose the
+        notification (§5 bidirectional handling)."""
+        testbed = build_testbed(loss=DataIndexLoss({10}), control_copies=2)
+        reverse = KindTargetedLoss(PacketKind.LG_LOSS_NOTIF, count=1)
+        testbed.plink.reverse_link.set_loss(reverse)
+        testbed.inject(50)
+        testbed.sim.run(until=2 * MS)
+        stats = testbed.plink.summary()
+        assert stats["timeouts"] == 0
+        assert testbed.delivered_ids() == list(range(50))

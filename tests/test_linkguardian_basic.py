@@ -1,0 +1,148 @@
+"""Integration tests: LinkGuardian on a clean and a lightly corrupting link."""
+
+from lg_fixtures import DataIndexLoss, build_testbed
+
+from repro.units import MS, MTU_FRAME, US
+
+
+class TestDormantAndCleanLink:
+    def test_dormant_link_is_transparent(self):
+        testbed = build_testbed(activate_loss_rate=None)
+        assert not testbed.plink.active
+        testbed.inject(20)
+        testbed.sim.run(until=1 * MS)
+        assert testbed.delivered_ids() == list(range(20))
+        assert all(p.size == MTU_FRAME for p in testbed.delivered)
+        assert testbed.plink.sender.stats.protected == 0
+
+    def test_clean_link_delivers_everything_in_order(self):
+        testbed = build_testbed()
+        testbed.inject(100)
+        testbed.sim.run(until=1 * MS)
+        assert testbed.delivered_ids() == list(range(100))
+        stats = testbed.plink.summary()
+        assert stats["protected"] == 100
+        assert stats["loss_events"] == 0
+        assert stats["retx_events"] == 0
+        assert stats["timeouts"] == 0
+
+    def test_lg_header_stripped_before_forwarding(self):
+        testbed = build_testbed()
+        testbed.inject(10, size=500)
+        testbed.sim.run(until=1 * MS)
+        assert all(p.size == 500 for p in testbed.delivered)
+        assert all(p.lg is None for p in testbed.delivered)
+
+    def test_acks_free_the_tx_buffer(self):
+        testbed = build_testbed()
+        testbed.inject(200)
+        testbed.sim.run(until=2 * MS)
+        assert testbed.plink.sender.buffer_packets == 0
+        assert testbed.plink.sender.buffer_bytes == 0
+        assert testbed.plink.sender.stats.freed == 200
+
+    def test_tx_buffer_stays_small_at_line_rate(self):
+        """Fast ACKs keep the Tx buffer to a few tens of KB at 100G (§4.6)."""
+        testbed = build_testbed()
+        testbed.inject(2000)
+        testbed.sim.run(until=2 * MS)
+        testbed.plink.sender.tx_occupancy.finish(testbed.sim.now)
+        assert testbed.plink.sender.tx_occupancy.max_value < 120_000
+
+    def test_activation_returns_equation2_copies(self):
+        testbed = build_testbed(activate_loss_rate=None)
+        assert testbed.plink.activate(1e-4) == 1
+        assert testbed.plink.activate(1e-3) == 2
+        assert testbed.plink.activate(1e-5) == 1
+
+
+class TestSingleLossRecovery:
+    def test_ordered_recovery_preserves_order(self):
+        testbed = build_testbed(loss=DataIndexLoss({10}))
+        testbed.inject(50)
+        testbed.sim.run(until=1 * MS)
+        assert testbed.delivered_ids() == list(range(50))
+        stats = testbed.plink.summary()
+        assert stats["loss_events"] == 1
+        assert stats["recovered"] == 1
+        assert stats["retx_events"] == 1
+        assert stats["timeouts"] == 0
+
+    def test_non_blocking_recovery_reorders(self):
+        testbed = build_testbed(ordered=False, loss=DataIndexLoss({10}))
+        testbed.inject(50)
+        testbed.sim.run(until=1 * MS)
+        ids = testbed.delivered_ids()
+        assert sorted(ids) == list(range(50))
+        assert ids != list(range(50))  # packet 10 was delivered late
+        assert ids.index(10) > 10
+        assert testbed.plink.receiver.stats.reordered_deliveries == 1
+
+    def test_recovery_is_sub_rtt_scale(self):
+        """ReTx delay must sit in the paper's 2-6 us window (Figure 19)."""
+        testbed = build_testbed(loss=DataIndexLoss({10}))
+        testbed.inject(50)
+        testbed.sim.run(until=1 * MS)
+        delays = testbed.plink.receiver.stats.retx_delays_ns
+        assert len(delays) == 1
+        assert 1 * US < delays[0] <= 6 * US
+
+    def test_first_packet_loss_is_recovered(self):
+        testbed = build_testbed(loss=DataIndexLoss({0}))
+        testbed.inject(30)
+        testbed.sim.run(until=1 * MS)
+        assert testbed.delivered_ids() == list(range(30))
+
+    def test_duplicate_retx_copies_are_deduplicated(self):
+        # loss rate 1e-3 -> N=2 copies; both arrive, one is redundant.
+        testbed = build_testbed(loss=DataIndexLoss({5}), activate_loss_rate=1e-3)
+        testbed.inject(30)
+        testbed.sim.run(until=1 * MS)
+        assert testbed.delivered_ids() == list(range(30))
+        assert testbed.plink.sender.stats.retx_copies == 2
+        assert testbed.plink.receiver.stats.duplicates_dropped == 1
+
+    def test_nb_duplicate_retx_copies_are_deduplicated(self):
+        testbed = build_testbed(
+            ordered=False, loss=DataIndexLoss({5}), activate_loss_rate=1e-3
+        )
+        testbed.inject(30)
+        testbed.sim.run(until=1 * MS)
+        assert sorted(testbed.delivered_ids()) == list(range(30))
+        assert len(testbed.delivered_ids()) == 30
+        assert testbed.plink.receiver.stats.duplicates_dropped == 1
+
+
+class TestConsecutiveLosses:
+    def test_burst_of_three_recovered_in_order(self):
+        testbed = build_testbed(loss=DataIndexLoss({10, 11, 12}))
+        testbed.inject(50)
+        testbed.sim.run(until=1 * MS)
+        assert testbed.delivered_ids() == list(range(50))
+        stats = testbed.plink.summary()
+        assert stats["loss_events"] == 3
+        assert stats["recovered"] == 3
+        # One gap detection -> one notification for all three.
+        assert stats["notifications"] == 1
+
+    def test_burst_beyond_retxreqs_registers_times_out(self):
+        """Losses beyond the provisioned 1-bit registers are unrecoverable
+        by retransmission and fall back to ackNoTimeout (§3.5)."""
+        lost = set(range(10, 17))  # 7 consecutive > 5 registers
+        testbed = build_testbed(loss=DataIndexLoss(lost))
+        testbed.inject(50)
+        testbed.sim.run(until=1 * MS)
+        stats = testbed.plink.summary()
+        assert stats["recovered"] == 5
+        assert stats["timeouts"] == 2
+        assert testbed.plink.sender.stats.reqs_overflow == 2
+        # Delivered = everything except the two given-up packets, in order.
+        expected = [i for i in range(50) if i not in (15, 16)]
+        assert testbed.delivered_ids() == expected
+
+    def test_two_separate_loss_events(self):
+        testbed = build_testbed(loss=DataIndexLoss({5, 25}))
+        testbed.inject(50)
+        testbed.sim.run(until=1 * MS)
+        assert testbed.delivered_ids() == list(range(50))
+        assert testbed.plink.summary()["notifications"] == 2

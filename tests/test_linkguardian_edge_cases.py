@@ -1,0 +1,104 @@
+"""Edge-case tests: Tx-buffer overflow, deactivation mid-stream, misc."""
+
+from lg_fixtures import DataIndexLoss, build_testbed
+
+from repro.packets.packet import PacketKind
+from repro.units import KB, MS, MTU_FRAME
+
+
+class TestTxBufferOverflow:
+    def test_overflowing_tx_buffer_sends_unprotected_copies(self):
+        """When the Tx buffer is full the packet is still sent, just
+        without a buffered copy (it cannot be retransmitted)."""
+        testbed = build_testbed(
+            tx_buffer_capacity_bytes=10 * KB,       # ~6 MTU frames
+            replenish_delay_ns=50_000,              # starve ACK feedback a bit
+        )
+        testbed.inject(300)
+        testbed.sim.run(until=2 * MS)
+        sender = testbed.plink.sender.stats
+        assert sender.unprotected > 0
+        assert sender.protected == 300
+        # Everything still arrives (no losses in this run).
+        assert len(testbed.delivered) == 300
+
+    def test_unprotected_loss_times_out(self):
+        """A lost packet whose Tx-buffer copy was never taken cannot be
+        retransmitted: the receiver's ackNoTimeout swallows it."""
+        testbed = build_testbed(
+            tx_buffer_capacity_bytes=3 * KB,        # nearly nothing fits
+            replenish_delay_ns=100_000,
+            loss=DataIndexLoss({50}),
+        )
+        testbed.inject(200)
+        testbed.sim.run(until=3 * MS)
+        stats = testbed.plink.summary()
+        assert stats["timeouts"] + stats["recovered"] == 1
+        delivered = len(testbed.delivered)
+        assert delivered in (199, 200)
+
+
+class TestRuntimeControl:
+    def test_deactivation_mid_stream_keeps_delivering(self):
+        testbed = build_testbed()
+        testbed.inject(50)
+        testbed.sim.schedule_at(30_000, testbed.plink.deactivate)
+        testbed.inject(50, start_ns=60_000)
+        testbed.sim.run(until=2 * MS)
+        assert len(testbed.delivered) == 100
+        # Later packets went through unstamped.
+        assert testbed.plink.sender.stats.protected < 100
+
+    def test_reactivation_resumes_protection(self):
+        testbed = build_testbed()
+        testbed.plink.deactivate()
+        testbed.plink.activate(1e-3)
+        assert testbed.plink.active
+        assert testbed.plink.sender.n_copies == 2
+        testbed.inject(10)
+        testbed.sim.run(until=1 * MS)
+        assert testbed.plink.sender.stats.protected == 10
+
+    def test_set_loss_none_heals_the_link(self):
+        testbed = build_testbed(loss=DataIndexLoss({0, 1, 2}))
+        testbed.inject(10)
+        testbed.sim.run(until=500_000)
+        testbed.plink.set_loss(None)
+        testbed.inject(20, start_ns=testbed.sim.now)
+        before = testbed.plink.summary()["loss_events"]
+        testbed.sim.run(until=2 * MS)
+        assert testbed.plink.summary()["loss_events"] == before
+        assert len(testbed.delivered) == 30
+
+    def test_summary_has_expected_keys(self):
+        testbed = build_testbed()
+        summary = testbed.plink.summary()
+        for key in ("protected", "retx_events", "loss_events", "recovered",
+                    "timeouts", "overflow_drops", "delivered", "tx_buffer",
+                    "rx_buffer", "pauses", "resumes"):
+            assert key in summary
+
+
+class TestDummyBehaviour:
+    def test_dummy_overhead_negligible_under_load(self):
+        """Dummies only use leftover gaps: their bandwidth cost under a
+        saturating stream is well below 1% (the paper: zero overhead,
+        'transmitted only when there is no regular traffic')."""
+        testbed = build_testbed()
+        testbed.inject(2_000)  # back-to-back at line rate
+        testbed.sim.run(until=300_000)
+        sender = testbed.plink.sender.stats
+        dummy_bytes = sender.dummies_sent * testbed.plink.config.control_frame_bytes
+        data_bytes = sender.protected * MTU_FRAME
+        assert dummy_bytes < 0.01 * data_bytes
+
+    def test_dummies_do_not_reach_forwarding(self):
+        testbed = build_testbed()
+        testbed.inject(5)
+        testbed.sim.run(until=1 * MS)
+        assert all(p.kind is not PacketKind.LG_DUMMY for p in testbed.delivered)
+
+    def test_dummy_size_is_minimum_frame(self):
+        testbed = build_testbed()
+        dummy = testbed.plink.sender._make_dummy()
+        assert dummy.size == testbed.plink.config.control_frame_bytes

@@ -1,0 +1,75 @@
+"""Property-based tests: LinkGuardian invariants under arbitrary loss patterns."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from lg_fixtures import DataIndexLoss, build_testbed
+
+from repro.units import MS
+
+N_PACKETS = 60
+
+drop_sets = st.sets(
+    st.integers(min_value=0, max_value=N_PACKETS - 1), min_size=0, max_size=12
+)
+
+
+def run_case(ordered, drops, **overrides):
+    testbed = build_testbed(
+        ordered=ordered, loss=DataIndexLoss(drops), activate_loss_rate=1e-3,
+        **overrides,
+    )
+    testbed.inject(N_PACKETS)
+    testbed.sim.run(until=3 * MS)
+    return testbed
+
+
+@given(drop_sets)
+@settings(max_examples=40, deadline=None)
+def test_ordered_mode_delivery_invariants(drops):
+    """Ordered mode: whatever is delivered arrives exactly once, in order,
+    and delivered + timed-out accounts for every injected packet."""
+    testbed = run_case(True, drops)
+    ids = testbed.delivered_ids()
+    stats = testbed.plink.summary()
+    assert ids == sorted(ids), f"reordering with drops={drops}"
+    assert len(ids) == len(set(ids)), "duplicate delivery"
+    assert len(ids) + stats["timeouts"] + stats["overflow_drops"] == N_PACKETS
+    assert stats["loss_events"] == len(drops)
+
+
+@given(drop_sets)
+@settings(max_examples=40, deadline=None)
+def test_nb_mode_delivery_invariants(drops):
+    """NB mode: every packet delivered exactly once (or timed out); the
+    receiver never buffers."""
+    testbed = run_case(False, drops)
+    ids = testbed.delivered_ids()
+    stats = testbed.plink.summary()
+    assert len(ids) == len(set(ids)), "duplicate delivery"
+    assert len(ids) + stats["timeouts"] == N_PACKETS
+    assert testbed.plink.receiver.rx_occupancy.max_value == 0
+
+
+@given(drop_sets)
+@settings(max_examples=25, deadline=None)
+def test_recovery_accounting_consistent(drops):
+    """recovered + timeouts == loss events; retx events bounded by requests."""
+    testbed = run_case(True, drops)
+    stats = testbed.plink.summary()
+    sender = testbed.plink.sender.stats
+    assert stats["recovered"] + stats["timeouts"] == stats["loss_events"]
+    assert stats["retx_events"] <= stats["loss_events"]
+    assert sender.retx_copies == stats["retx_events"] * 2  # N=2 at 1e-3
+    # The Tx buffer is fully reclaimed once the run drains.
+    assert testbed.plink.sender.buffer_bytes == 0
+
+
+@given(drop_sets, st.integers(min_value=1, max_value=3))
+@settings(max_examples=20, deadline=None)
+def test_dummy_copies_never_break_invariants(drops, copies):
+    testbed = run_case(True, drops, dummy_copies=copies)
+    ids = testbed.delivered_ids()
+    stats = testbed.plink.summary()
+    assert ids == sorted(ids)
+    assert len(ids) + stats["timeouts"] == N_PACKETS

@@ -1,0 +1,71 @@
+"""Tests for multi-hop chains with multiple corrupting links (§5)."""
+
+import pytest
+
+from repro.experiments.multihop import build_chain, run_multihop_fct
+from repro.packets.packet import Packet
+from repro.units import MS, MTU_FRAME
+
+
+class TestChainTopology:
+    def test_clean_chain_delivers_end_to_end(self):
+        chain = build_chain(n_switches=4, corrupting_hops=(), lg_active=False)
+        got = []
+        chain.dst_host.set_default_handler(got.append)
+        chain.src_host.send(Packet(size=MTU_FRAME, src="hsrc", dst="hdst", flow_id=1))
+        chain.sim.run(until=1 * MS)
+        assert len(got) == 1
+
+    def test_reverse_path_works(self):
+        chain = build_chain(n_switches=3, corrupting_hops=(), lg_active=False)
+        got = []
+        chain.src_host.set_default_handler(got.append)
+        chain.dst_host.send(Packet(size=MTU_FRAME, src="hdst", dst="hsrc", flow_id=1))
+        chain.sim.run(until=1 * MS)
+        assert len(got) == 1
+
+    def test_needs_two_switches(self):
+        with pytest.raises(ValueError):
+            build_chain(n_switches=1)
+
+    def test_each_hop_protects_independently(self):
+        """Two corrupting hops, each with its own LinkGuardian: both
+        recover their own losses."""
+        chain = build_chain(n_switches=3, corrupting_hops=(0, 1),
+                            loss_rate=5e-3, lg_active=True, seed=3)
+        got = []
+        chain.dst_host.set_default_handler(got.append)
+        for index in range(3_000):
+            packet = Packet(size=MTU_FRAME, src="hsrc", dst="hdst", flow_id=index)
+            chain.sim.schedule_at(index * 200, chain.src_host.send, packet)
+        chain.sim.run(until=5 * MS)
+        assert len(got) == 3_000
+        losses = [p.receiver.stats.loss_events for p in chain.links]
+        recovered = [p.receiver.stats.recovered for p in chain.links]
+        assert all(l > 0 for l in losses)        # both hops actually lost
+        assert recovered == losses               # and both recovered fully
+
+
+class TestMultihopFct:
+    def test_lg_masks_multi_hop_corruption(self):
+        guarded = run_multihop_fct(
+            n_corrupting=2, n_switches=3, n_trials=150,
+            loss_rate=1e-2, lg_active=True, seed=4,
+        )
+        unguarded = run_multihop_fct(
+            n_corrupting=2, n_switches=3, n_trials=150,
+            loss_rate=1e-2, lg_active=False, seed=4,
+        )
+        assert guarded["trials"] == unguarded["trials"] == 150
+        # Without protection a large fraction of flows is affected; with
+        # LinkGuardian (per-hop) essentially none are.
+        assert unguarded["affected_fraction"] > 0.1
+        assert guarded["affected_fraction"] < 0.02
+        assert guarded["p99.9_us"] < unguarded["p99.9_us"]
+
+    def test_more_corrupting_hops_hurt_more_without_lg(self):
+        one = run_multihop_fct(n_corrupting=1, n_switches=4, n_trials=150,
+                               loss_rate=1e-2, lg_active=False, seed=5)
+        two = run_multihop_fct(n_corrupting=3, n_switches=4, n_trials=150,
+                               loss_rate=1e-2, lg_active=False, seed=5)
+        assert two["affected_fraction"] > one["affected_fraction"]

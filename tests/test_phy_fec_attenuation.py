@@ -1,0 +1,101 @@
+"""Tests for the RS-FEC math and the Figure 1 attenuation models."""
+
+import math
+
+import pytest
+
+from repro.phy import attenuation as att
+from repro.phy import fec
+
+
+class TestRsFec:
+    def test_code_parameters(self):
+        assert fec.RS_KR4.t == 7
+        assert fec.RS_KP4.t == 15
+        assert fec.RS_KR4.payload_bits == 5140
+
+    def test_symbol_error_rate_limits(self):
+        assert fec.symbol_error_rate(0.0) == 0.0
+        assert fec.symbol_error_rate(1.0) == 1.0
+        # Small-BER linearization: SER ~= 10 * BER.
+        assert fec.symbol_error_rate(1e-9) == pytest.approx(1e-8, rel=1e-3)
+
+    def test_codeword_failure_monotone_in_ber(self):
+        points = [1e-6, 1e-5, 1e-4, 1e-3]
+        failures = [fec.codeword_failure_prob(ber, fec.RS_KR4) for ber in points]
+        assert failures == sorted(failures)
+        assert failures[0] < 1e-20
+
+    def test_fec_beats_no_fec_at_low_ber(self):
+        ber = 1e-6
+        raw = fec.frame_loss_rate(ber, 1518, code=None)
+        coded = fec.frame_loss_rate(ber, 1518, fec.RS_KR4)
+        assert coded < raw / 1e6
+
+    def test_fec_gain_collapses_at_high_ber(self):
+        ber = 2e-3
+        raw = fec.frame_loss_rate(ber, 1518, code=None)
+        coded = fec.frame_loss_rate(ber, 1518, fec.RS_KR4)
+        assert coded > 0.5 * raw  # both effectively lose everything
+
+    def test_frame_loss_no_fec_small_ber(self):
+        # PLR ~= bits * BER for tiny BER.
+        ber = 1e-12
+        plr = fec.frame_loss_rate(ber, 1518, code=None)
+        assert plr == pytest.approx(1518 * 8 * ber, rel=1e-3)
+
+    def test_frame_loss_extremes(self):
+        assert fec.frame_loss_rate(0.0, 1518) == 0.0
+        assert fec.frame_loss_rate(1.0, 1518) == 1.0
+        assert fec.frame_loss_rate(0.0, 1518, fec.RS_KP4) == 0.0
+
+
+class TestAttenuationModels:
+    def test_loss_is_monotone_in_attenuation(self):
+        sweep = [9 + 0.5 * i for i in range(19)]
+        for model in att.STANDARD_TRANSCEIVERS:
+            series = att.attenuation_sweep(model, sweep)
+            assert all(b >= a for a, b in zip(series, series[1:])), model.name
+
+    def test_healthy_at_low_attenuation(self):
+        for model in att.STANDARD_TRANSCEIVERS:
+            if model is att.TRANSCEIVER_50G_SR_FEC:
+                continue
+            assert model.packet_loss_rate(9.0) < 1e-8, model.name
+
+    def test_susceptibility_ordering_matches_figure_1(self):
+        """At a mid-range attenuation 50G loses most, 10G least."""
+        for atten in (11.0, 12.0, 13.0):
+            plr_50g = att.TRANSCEIVER_50G_SR_FEC.packet_loss_rate(atten)
+            plr_25g = att.TRANSCEIVER_25G_SR.packet_loss_rate(atten)
+            plr_10g = att.TRANSCEIVER_10G_SR.packet_loss_rate(atten)
+            assert plr_50g > plr_25g > plr_10g
+
+    def test_fec_helps_at_25g(self):
+        """In the rising region FEC lowers the 25G loss rate."""
+        atten = 12.0
+        with_fec = att.TRANSCEIVER_25G_SR_FEC.packet_loss_rate(atten)
+        without = att.TRANSCEIVER_25G_SR.packet_loss_rate(atten)
+        assert 0 < with_fec < without
+
+    def test_50g_crosses_1e3_well_before_10g(self):
+        """Denser modulation fails several dB earlier (the paper's point)."""
+
+        def crossing(model, level=1e-3):
+            atten = 9.0
+            while model.packet_loss_rate(atten) < level and atten < 25:
+                atten += 0.1
+            return atten
+
+        assert crossing(att.TRANSCEIVER_50G_SR_FEC) + 3.0 < crossing(att.TRANSCEIVER_10G_SR)
+
+    def test_pre_fec_ber_sane(self):
+        ber = att.TRANSCEIVER_25G_SR.pre_fec_ber(att.TRANSCEIVER_25G_SR.healthy_attenuation_db)
+        assert ber == pytest.approx(1e-12, rel=0.5)
+        assert att.TRANSCEIVER_25G_SR.pre_fec_ber(30.0) <= 0.5
+
+    def test_smaller_frames_lose_less(self):
+        model = att.TRANSCEIVER_25G_SR
+        assert model.packet_loss_rate(12.5, frame_bytes=64) < model.packet_loss_rate(
+            12.5, frame_bytes=1518
+        )

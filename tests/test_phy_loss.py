@@ -1,0 +1,72 @@
+"""Tests for the corruption loss processes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.loss import (
+    BernoulliLoss, GilbertElliottLoss, NoLoss, burst_length_distribution,
+)
+
+
+def _rng():
+    return np.random.default_rng(42)
+
+
+def test_no_loss_never_corrupts():
+    process = NoLoss()
+    assert not any(process.corrupts() for _ in range(10_000))
+
+
+def test_bernoulli_rate_zero_and_one():
+    assert not any(BernoulliLoss(0.0, _rng()).corrupts() for _ in range(1_000))
+    assert all(BernoulliLoss(1.0, _rng()).corrupts() for _ in range(1_000))
+
+
+def test_bernoulli_empirical_rate():
+    process = BernoulliLoss(0.01, _rng())
+    n = 300_000
+    losses = sum(process.corrupts() for _ in range(n))
+    assert losses == pytest.approx(n * 0.01, rel=0.12)
+
+
+def test_bernoulli_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        BernoulliLoss(-0.1)
+    with pytest.raises(ValueError):
+        BernoulliLoss(1.5)
+
+
+def test_gilbert_elliott_average_rate():
+    process = GilbertElliottLoss(0.02, mean_burst=2.0, rng=_rng())
+    n = 400_000
+    losses = sum(process.corrupts() for _ in range(n))
+    assert losses == pytest.approx(n * 0.02, rel=0.15)
+
+
+def test_gilbert_elliott_burst_lengths():
+    process = GilbertElliottLoss(0.05, mean_burst=3.0, rng=_rng())
+    bursts = burst_length_distribution(process, 400_000)
+    assert bursts.mean() == pytest.approx(3.0, rel=0.15)
+    # Geometric burst lengths: multi-packet bursts must be common.
+    assert (bursts >= 2).mean() > 0.4
+
+
+def test_gilbert_elliott_validation():
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(0.0)
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(0.5, mean_burst=0.5)
+
+
+def test_bernoulli_bursts_are_mostly_single():
+    process = BernoulliLoss(0.01, _rng())
+    bursts = burst_length_distribution(process, 300_000)
+    assert (bursts == 1).mean() > 0.97
+
+
+@given(st.floats(min_value=1e-4, max_value=0.2))
+@settings(max_examples=20, deadline=None)
+def test_property_bernoulli_rate_attribute(rate):
+    assert BernoulliLoss(rate, _rng()).rate == rate

@@ -1,0 +1,47 @@
+"""Tests for the text-table renderer."""
+
+from repro.analysis.report import format_value, render_table
+
+
+class TestFormatValue:
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_small_float_scientific(self):
+        assert format_value(1e-9) == "1e-09"
+
+    def test_mid_float_fixed(self):
+        assert format_value(99.1234) == "99.12"
+
+    def test_large_float_scientific(self):
+        assert "e+" in format_value(2.5e7)
+
+    def test_strings_and_ints_passthrough(self):
+        assert format_value("abc") == "abc"
+        assert format_value(42) == "42"
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_alignment_and_header(self):
+        rows = [{"name": "a", "value": 1}, {"name": "long-name", "value": 22}]
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+        # Columns align: every padded line has the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_explicit_columns_subset(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = render_table(rows, columns=["c", "a"])
+        assert "b" not in text.splitlines()[0]
+        assert text.splitlines()[0].startswith("c")
+
+    def test_missing_keys_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 9}]
+        text = render_table(rows, columns=["a", "b"])
+        assert "9" in text

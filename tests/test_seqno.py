@@ -1,0 +1,82 @@
+"""Unit and property tests for era'd sequence numbers (paper §3.5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packets.seqno import SEQ_RANGE, SeqCounter, seq_compare, seq_distance
+
+
+def test_counter_assigns_then_increments():
+    counter = SeqCounter()
+    first = counter.next()
+    second = counter.next()
+    assert (first.value, first.era) == (0, 0)
+    assert (second.value, second.era) == (1, 0)
+
+
+def test_counter_wraps_and_toggles_era():
+    counter = SeqCounter(value=SEQ_RANGE - 1, era=0)
+    last = counter.next()
+    assert (last.value, last.era) == (SEQ_RANGE - 1, 0)
+    first_new_era = counter.next()
+    assert (first_new_era.value, first_new_era.era) == (0, 1)
+
+
+def test_era_toggles_back_to_zero():
+    counter = SeqCounter(value=SEQ_RANGE - 1, era=1)
+    counter.advance()
+    assert (counter.value, counter.era) == (0, 0)
+
+
+def test_compare_same_era():
+    assert seq_compare(5, 0, 3, 0) == 1
+    assert seq_compare(3, 0, 5, 0) == -1
+    assert seq_compare(4, 0, 4, 0) == 0
+
+
+def test_compare_across_wraparound():
+    # seq 2 of era 1 is newer than seq 65530 of era 0.
+    assert seq_compare(2, 1, SEQ_RANGE - 6, 0) == 1
+    assert seq_compare(SEQ_RANGE - 6, 0, 2, 1) == -1
+
+
+def test_distance_across_wraparound():
+    assert seq_distance(2, 1, SEQ_RANGE - 6, 0) == 8
+    assert seq_distance(SEQ_RANGE - 6, 0, 2, 1) == -8
+
+
+def test_distance_in_order_simple():
+    assert seq_distance(10, 0, 7, 0) == 3
+    assert seq_distance(7, 0, 10, 0) == -3
+    assert seq_distance(7, 0, 7, 0) == 0
+
+
+@given(st.integers(min_value=0, max_value=SEQ_RANGE * 3 - 1),
+       st.integers(min_value=0, max_value=SEQ_RANGE // 2 - 1))
+@settings(max_examples=200)
+def test_property_distance_matches_absolute_gap(start, gap):
+    """Walking a counter forward by `gap` always yields distance `gap`.
+
+    This is the era-correction contract: any two live sequence numbers
+    less than N/2 apart compare correctly regardless of wraps.
+    """
+    era_start = (start // SEQ_RANGE) & 1
+    older = SeqCounter(value=start % SEQ_RANGE, era=era_start)
+    newer = SeqCounter(older.value, older.era)
+    for _ in range(gap):
+        newer.advance()
+    assert seq_distance(newer.value, newer.era, older.value, older.era) == gap
+    expected = 0 if gap == 0 else 1
+    assert seq_compare(newer.value, newer.era, older.value, older.era) == expected
+
+
+@given(st.integers(min_value=0, max_value=SEQ_RANGE - 1),
+       st.integers(min_value=0, max_value=1))
+@settings(max_examples=100)
+def test_property_compare_is_reflexive_and_antisymmetric(value, era):
+    assert seq_compare(value, era, value, era) == 0
+    other_value = (value + 17) % SEQ_RANGE
+    other_era = era ^ (1 if value + 17 >= SEQ_RANGE else 0)
+    forward = seq_compare(other_value, other_era, value, era)
+    backward = seq_compare(value, era, other_value, other_era)
+    assert forward == -backward

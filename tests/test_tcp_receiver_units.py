@@ -1,0 +1,147 @@
+"""Unit tests for TCP receiver reassembly and RDMA responder logic."""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.hosts.host import Host
+from repro.packets.packet import EcnCodepoint, Packet, RdmaHeader, TcpHeader
+from repro.transport.rdma import RdmaResponder
+from repro.transport.tcp import TcpReceiver
+
+
+class FakeHost(Host):
+    """A host that records what it 'sends' instead of using a NIC."""
+
+    def __init__(self, sim):
+        super().__init__(sim, "fake")
+        self.outbox = []
+
+    def send(self, packet):
+        self.outbox.append(packet)
+
+
+def data_packet(seq, payload, flow_id=1, ecn=EcnCodepoint.NOT_ECT, ts=123):
+    return Packet(
+        size=payload + 58, flow_id=flow_id, ecn=ecn,
+        tcp=TcpHeader(seq=seq, payload=payload, ts_val=ts),
+    )
+
+
+class TestTcpReceiver:
+    def _receiver(self):
+        sim = Simulator()
+        host = FakeHost(sim)
+        return TcpReceiver(sim, host, "peer", flow_id=1), host
+
+    def test_in_order_advances_rcv_nxt(self):
+        receiver, host = self._receiver()
+        receiver._on_packet(data_packet(0, 1000))
+        receiver._on_packet(data_packet(1000, 1000))
+        assert receiver.rcv_nxt == 2000
+        assert host.outbox[-1].tcp.ack == 2000
+        assert host.outbox[-1].tcp.sack_blocks == ()
+
+    def test_gap_generates_sack(self):
+        receiver, host = self._receiver()
+        receiver._on_packet(data_packet(0, 1000))
+        receiver._on_packet(data_packet(2000, 1000))   # hole at 1000
+        ack = host.outbox[-1].tcp
+        assert ack.ack == 1000
+        assert ack.sack_blocks == ((2000, 3000),)
+
+    def test_hole_fill_merges_ooo(self):
+        receiver, host = self._receiver()
+        receiver._on_packet(data_packet(0, 1000))
+        receiver._on_packet(data_packet(2000, 1000))
+        receiver._on_packet(data_packet(3000, 1000))
+        receiver._on_packet(data_packet(1000, 1000))   # fills the hole
+        assert receiver.rcv_nxt == 4000
+        assert host.outbox[-1].tcp.sack_blocks == ()
+
+    def test_adjacent_ooo_ranges_merge(self):
+        receiver, host = self._receiver()
+        receiver._on_packet(data_packet(2000, 1000))
+        receiver._on_packet(data_packet(3000, 1000))
+        assert receiver._ooo == [(2000, 4000)]
+
+    def test_at_most_three_sack_blocks(self):
+        receiver, host = self._receiver()
+        for start in (2000, 5000, 8000, 11000, 14000):
+            receiver._on_packet(data_packet(start, 1000))
+        assert len(host.outbox[-1].tcp.sack_blocks) <= 3
+
+    def test_ecn_echoed_per_packet(self):
+        receiver, host = self._receiver()
+        receiver._on_packet(data_packet(0, 1000, ecn=EcnCodepoint.CE))
+        assert host.outbox[-1].tcp.ece
+        receiver._on_packet(data_packet(1000, 1000, ecn=EcnCodepoint.ECT))
+        assert not host.outbox[-1].tcp.ece
+
+    def test_timestamp_echoed(self):
+        receiver, host = self._receiver()
+        receiver._on_packet(data_packet(0, 1000, ts=777))
+        assert host.outbox[-1].tcp.ts_ecr == 777
+
+    def test_duplicate_data_reacked(self):
+        receiver, host = self._receiver()
+        receiver._on_packet(data_packet(0, 1000))
+        receiver._on_packet(data_packet(0, 1000))
+        assert receiver.rcv_nxt == 1000
+        assert len(host.outbox) == 2
+
+
+def rdma_packet(psn, payload=1000, last=False):
+    return Packet(size=payload + 78, flow_id=1,
+                  rdma=RdmaHeader(psn=psn, payload=payload, last=last))
+
+
+class TestRdmaResponder:
+    def _responder(self, selective_repeat=False):
+        sim = Simulator()
+        host = FakeHost(sim)
+        return RdmaResponder(sim, host, "peer", 1,
+                             selective_repeat=selective_repeat), host
+
+    def test_in_order_acks(self):
+        responder, host = self._responder()
+        responder._on_packet(rdma_packet(0))
+        responder._on_packet(rdma_packet(1))
+        assert responder.expected_psn == 2
+        assert host.outbox[-1].rdma.is_ack
+        assert host.outbox[-1].rdma.ack_psn == 1
+
+    def test_gbn_discards_ooo_and_naks_once(self):
+        responder, host = self._responder()
+        responder._on_packet(rdma_packet(0))
+        responder._on_packet(rdma_packet(2))
+        responder._on_packet(rdma_packet(3))
+        assert responder.discarded == 2
+        assert responder.naks_sent == 1     # one NAK per out-of-sequence event
+        naks = [p for p in host.outbox if p.rdma.is_nak]
+        assert naks[0].rdma.ack_psn == 1
+
+    def test_gbn_renak_after_recovery_window(self):
+        responder, host = self._responder()
+        responder._on_packet(rdma_packet(0))
+        responder._on_packet(rdma_packet(2))   # NAK(1)
+        responder._on_packet(rdma_packet(1))   # hole filled
+        responder._on_packet(rdma_packet(4))   # new hole -> fresh NAK
+        assert responder.naks_sent == 2
+
+    def test_sr_keeps_ooo_and_merges(self):
+        responder, host = self._responder(selective_repeat=True)
+        responder._on_packet(rdma_packet(0))
+        responder._on_packet(rdma_packet(2))
+        responder._on_packet(rdma_packet(3))
+        assert responder.discarded == 0
+        responder._on_packet(rdma_packet(1))
+        assert responder.expected_psn == 4
+        assert responder.bytes_received == 4000
+
+    def test_duplicate_psn_reacked(self):
+        responder, host = self._responder()
+        responder._on_packet(rdma_packet(0))
+        responder._on_packet(rdma_packet(0))
+        acks = [p for p in host.outbox if p.rdma.is_ack]
+        assert len(acks) == 2
+        assert responder.bytes_received == 1000

@@ -1,0 +1,129 @@
+"""Tests for the RoCEv2 RC (go-back-N) transport model."""
+
+import pytest
+
+from repro.experiments.testbed import build_testbed
+from repro.phy.loss import ScriptedLoss
+from repro.transport.rdma import RdmaRequester, RdmaResponder
+from repro.units import MS, US
+
+
+def run_write(size, loss=None, loss_rate=0.0, lg_active=False, ordered=True,
+              selective_repeat=False, until_ms=100, seed=3):
+    testbed = build_testbed(
+        rate_gbps=100, loss_rate=loss_rate, ordered=ordered,
+        lg_active=lg_active, seed=seed, loss=loss,
+    )
+    src = testbed.add_host("h4", "tx", stack_delay_ns=1_000)   # NIC-offloaded
+    dst = testbed.add_host("h8", "rx", stack_delay_ns=1_000)
+    done = []
+    requester = RdmaRequester(
+        testbed.sim, src, "h8", flow_id=1, size_bytes=size,
+        on_complete=done.append,
+    )
+    responder = RdmaResponder(
+        testbed.sim, dst, "h4", flow_id=1, selective_repeat=selective_repeat,
+    )
+    testbed.sim.schedule(0, requester.start)
+    testbed.sim.run(until=until_ms * MS)
+    return testbed, requester, responder, done
+
+
+class TestCleanPath:
+    def test_single_packet_write_completes_fast(self):
+        testbed, req, resp, done = run_write(143)
+        assert done and done[0].completed
+        # NIC RTT is a few microseconds.
+        assert done[0].fct_ns < 20 * US
+        assert resp.bytes_received == 143
+
+    def test_multi_packet_write_delivers_all_bytes(self):
+        testbed, req, resp, done = run_write(24_387)
+        assert done
+        assert resp.bytes_received == 24_387
+        assert done[0].timeouts == 0
+        assert resp.naks_sent == 0
+
+    def test_2mb_write_completes(self):
+        testbed, req, resp, done = run_write(2_000_000)
+        assert done
+        assert resp.bytes_received == 2_000_000
+
+
+class TestGoBackN:
+    def test_mid_message_loss_triggers_goback(self):
+        """Go-back-N: everything after the hole is discarded and resent."""
+        loss = ScriptedLoss({5})
+        testbed, req, resp, done = run_write(24_387, loss=loss)
+        assert done
+        assert resp.bytes_received == 24_387
+        assert resp.naks_sent >= 1
+        assert resp.discarded >= 1          # packets after the hole thrown away
+        assert done[0].retransmissions >= resp.discarded
+
+    def test_tail_loss_needs_rto(self):
+        """Losing the last packet: no subsequent packet generates a NAK,
+        so only the ~1 ms RTO recovers — the paper's RDMA pathology."""
+        loss = ScriptedLoss({16})
+        testbed, req, resp, done = run_write(24_387, loss=loss)
+        assert done
+        assert done[0].timeouts >= 1
+        assert done[0].fct_ns > 1 * MS
+
+    def test_single_packet_write_loss_needs_rto(self):
+        loss = ScriptedLoss({0})
+        testbed, req, resp, done = run_write(143, loss=loss)
+        assert done
+        assert done[0].timeouts >= 1
+        assert done[0].fct_ns > 1 * MS
+
+    def test_linkguardian_masks_rdma_loss(self):
+        """Ordered LinkGuardian recovers below the NIC's radar: no NAK,
+        no RTO, microsecond-scale completion."""
+        loss = ScriptedLoss({6})  # frame 0 is the LG dummy, 1..17 data
+        testbed, req, resp, done = run_write(24_387, loss=loss, lg_active=True)
+        assert done
+        assert resp.naks_sent == 0
+        assert done[0].timeouts == 0
+        assert done[0].fct_ns < 100 * US
+
+    def test_nb_mode_reordering_still_hurts_rdma(self):
+        """LinkGuardianNB delivers the recovered packet out of order; the
+        go-back-N responder discards it and NAKs (Figure 11c)."""
+        loss = ScriptedLoss({6})
+        testbed, req, resp, done = run_write(
+            24_387, loss=loss, lg_active=True, ordered=False)
+        assert done
+        assert resp.bytes_received == 24_387
+        assert resp.naks_sent >= 1           # reordering triggered go-back-N
+        assert done[0].timeouts == 0         # ...but no RTO (tail was covered)
+
+    def test_goback_storm_under_heavy_loss_still_completes(self):
+        testbed, req, resp, done = run_write(
+            100_000, loss_rate=5e-3, until_ms=400, seed=9)
+        assert done
+        assert resp.bytes_received == 100_000
+
+
+class TestSelectiveRepeat:
+    def test_selective_repeat_keeps_out_of_order_packets(self):
+        """The §5 'RoCE selective repeat' extension: only the missing PSN
+        is retransmitted."""
+        loss = ScriptedLoss({5})
+        testbed, req, resp, done = run_write(
+            24_387, loss=loss, selective_repeat=True)
+        assert done
+        assert resp.bytes_received == 24_387
+        assert resp.discarded == 0
+        # Go-back-N would resend ~11 packets; SR resends the stream once
+        # from the hole but the responder keeps what it already has.
+        assert done[0].fct_ns < 1 * MS
+
+    def test_selective_repeat_faster_than_goback_for_mid_loss(self):
+        loss_gbn = ScriptedLoss({5})
+        loss_sr = ScriptedLoss({5})
+        __, __, resp_gbn, done_gbn = run_write(100_000, loss=loss_gbn)
+        __, __, resp_sr, done_sr = run_write(
+            100_000, loss=loss_sr, selective_repeat=True)
+        assert done_gbn and done_sr
+        assert resp_sr.discarded == 0 and resp_gbn.discarded > 0

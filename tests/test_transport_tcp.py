@@ -1,0 +1,214 @@
+"""Tests for the TCP model over the two-switch testbed."""
+
+import pytest
+
+from repro.experiments.testbed import build_testbed
+from repro.phy.loss import ScriptedLoss
+from repro.transport.congestion import BbrCC, CubicCC, DctcpCC
+from repro.transport.tcp import TcpReceiver, TcpSender
+from repro.units import MS, SEC, US
+
+
+def run_flow(size, cc_factory=None, loss_rate=0.0, lg_active=False, ordered=True,
+             rate_gbps=100, until_ms=200, seed=3, loss=None):
+    testbed = build_testbed(
+        rate_gbps=rate_gbps, loss_rate=loss_rate, ordered=ordered,
+        lg_active=lg_active, seed=seed, loss=loss,
+    )
+    src = testbed.add_host("h4", "tx")
+    dst = testbed.add_host("h8", "rx")
+    done = []
+    cc = cc_factory() if cc_factory else None
+    sender = TcpSender(
+        testbed.sim, src, "h8", flow_id=1, size_bytes=size, cc=cc,
+        on_complete=done.append,
+    )
+    receiver = TcpReceiver(testbed.sim, dst, "h4", flow_id=1)
+    testbed.sim.schedule(0, sender.start)
+    testbed.sim.run(until=until_ms * MS)
+    return testbed, sender, receiver, done
+
+
+class TestCleanPath:
+    def test_single_packet_flow_completes_in_about_one_rtt(self):
+        testbed, sender, receiver, done = run_flow(143)
+        assert done and done[0].completed
+        # RTT ~ 4 stack traversals (6 us each) + wire time: 24-35 us.
+        assert 20 * US < done[0].fct_ns < 60 * US
+        assert done[0].retransmissions == 0
+
+    def test_multi_packet_flow_delivers_all_bytes(self):
+        testbed, sender, receiver, done = run_flow(24_387)
+        assert done
+        assert receiver.rcv_nxt == 24_387
+        assert done[0].timeouts == 0
+
+    def test_2mb_flow_completes(self):
+        testbed, sender, receiver, done = run_flow(2_000_000)
+        assert done
+        assert receiver.rcv_nxt == 2_000_000
+
+    def test_fct_scales_with_size(self):
+        __, __, __, short = run_flow(143)
+        __, __, __, longer = run_flow(100_000)
+        assert longer[0].fct_ns > short[0].fct_ns
+
+    def test_zero_byte_flow_completes_immediately(self):
+        testbed, sender, receiver, done = run_flow(0)
+        assert done and done[0].fct_ns == 0
+
+
+class TestLossRecovery:
+    def test_mid_flow_loss_recovered_by_sack_fast_retx(self):
+        """A dropped mid-flow segment is recovered via SACK/dupacks in a
+        couple of RTTs, not an RTO."""
+        loss = ScriptedLoss({5})
+        testbed, sender, receiver, done = run_flow(60_000, loss=loss)
+        assert done
+        assert done[0].retransmissions >= 1
+        assert done[0].timeouts == 0
+        assert done[0].fct_ns < 1 * MS  # well under the RTO floor
+        assert receiver.rcv_nxt == 60_000
+
+    def test_tail_loss_of_single_packet_flow_needs_rto(self):
+        """The pathology the paper targets: lose a one-packet flow's only
+        packet and TCP waits out a full RTOmin (~1 ms)."""
+        loss = ScriptedLoss({0})
+        testbed, sender, receiver, done = run_flow(143, loss=loss)
+        assert done
+        assert done[0].timeouts >= 1
+        assert done[0].fct_ns > 1 * MS
+
+    def test_tail_loss_of_last_segment_needs_rto(self):
+        """Losing the very last segment: with one segment outstanding the
+        TLP probe is padded by WCDelAckT (RFC 8985), so the 1 ms RTO wins
+        — the multi-packet tail-loss pathology the paper measures."""
+        loss = ScriptedLoss({16})  # 24387 B = 17 segments, drop the last
+        testbed, sender, receiver, done = run_flow(24_387, loss=loss)
+        assert done
+        assert done[0].retransmissions >= 1
+        assert done[0].fct_ns > 1 * MS
+
+    def test_penultimate_loss_recovered_by_rack_quickly(self):
+        """Losing the 2nd-to-last segment: the SACK for the last segment
+        gives RACK its evidence and recovery is sub-RTO."""
+        loss = ScriptedLoss({15})
+        testbed, sender, receiver, done = run_flow(24_387, loss=loss)
+        assert done
+        assert done[0].retransmissions >= 1
+        assert done[0].timeouts == 0
+        assert done[0].fct_ns < 1 * MS
+
+    def test_linkguardian_masks_the_tail_loss(self):
+        """Same single-packet tail loss, but LinkGuardian recovers it below
+        the transport's radar."""
+        loss = ScriptedLoss({1})  # frame 0 is the initial LG dummy
+        testbed, sender, receiver, done = run_flow(
+            143, loss=loss, lg_active=True)
+        assert done
+        assert done[0].timeouts == 0
+        assert done[0].fct_ns < 100 * US
+
+    def test_reordering_triggers_no_spurious_rto(self):
+        """LG_NB delivers a retransmitted packet out of order; the flow
+        must still complete without an RTO."""
+        testbed, sender, receiver, done = run_flow(
+            60_000, loss_rate=0.01, lg_active=True, ordered=False, seed=7,
+        )
+        assert done
+        assert done[0].timeouts == 0
+        assert receiver.rcv_nxt == 60_000
+
+
+class TestCongestionControllers:
+    @pytest.mark.parametrize("cc_factory", [DctcpCC, CubicCC, BbrCC])
+    def test_all_variants_complete_clean(self, cc_factory):
+        testbed, sender, receiver, done = run_flow(200_000, cc_factory=cc_factory)
+        assert done
+        assert receiver.rcv_nxt == 200_000
+
+    @pytest.mark.parametrize("cc_factory", [DctcpCC, CubicCC, BbrCC])
+    def test_all_variants_survive_corruption(self, cc_factory):
+        testbed, sender, receiver, done = run_flow(
+            100_000, cc_factory=cc_factory, loss_rate=1e-3, seed=11,
+        )
+        assert done
+        assert receiver.rcv_nxt == 100_000
+
+    def test_dctcp_reacts_to_ecn_marks(self):
+        """Push a window through a tiny-ECN-threshold queue; DCTCP must
+        cut cwnd while still completing."""
+        testbed = build_testbed(rate_gbps=10, ecn_threshold_bytes=15_000)
+        # A 40G NIC feeding the 10G protected link: the queue builds at
+        # sw2 and crosses the ECN threshold.
+        from repro.units import gbps
+
+        src = testbed.add_host("h4", "tx", rate_bps=gbps(40))
+        dst = testbed.add_host("h8", "rx")
+        done = []
+        cc = DctcpCC()
+        sender = TcpSender(testbed.sim, src, "h8", 1, 600_000, cc=cc,
+                           on_complete=done.append)
+        TcpReceiver(testbed.sim, dst, "h4", 1)
+        testbed.sim.schedule(0, sender.start)
+        testbed.sim.run(until=100 * MS)
+        assert done
+        assert cc.alpha < 1.0          # alpha converged away from its init
+        assert done[0].cwnd_reductions == 0  # ECN, not loss
+
+    def test_cubic_reduces_on_loss_with_beta_07(self):
+        cc = CubicCC()
+        cc.cwnd = 100 * cc.mss
+        cc.ssthresh = 1  # force congestion avoidance
+        before = cc.cwnd
+        cc.on_loss_event(now_ns=0)
+        assert cc.cwnd == pytest.approx(before * 0.7, rel=0.01)
+
+    def test_bbr_ignores_loss_events(self):
+        cc = BbrCC()
+        cc.cwnd = 50 * cc.mss
+        before = cc.cwnd
+        cc.on_loss_event(now_ns=0)
+        assert cc.cwnd == before
+
+    def test_bbr_estimates_bandwidth(self):
+        cc = BbrCC()
+        cc.on_ack(1460, False, 30_000, 0)
+        for i in range(1, 20):
+            cc.deliver_sample(14_600, 30_000, i * 30_000)
+            cc.on_ack(14_600, False, 30_000, i * 30_000)
+        # 14600 B / 30 us ~= 3.9 Gb/s
+        assert cc._btlbw_bps == pytest.approx(14_600 * 8 / 30e-6, rel=0.01)
+        assert cc.pacing_rate_bps(600_000) is not None
+
+    def test_dctcp_alpha_update_rule(self):
+        cc = DctcpCC(g=0.5)
+        cc.cwnd = 2 * cc.mss
+        cc.ssthresh = 1
+        # A full window of unmarked acks drives alpha down by factor (1-g).
+        start_alpha = cc.alpha
+        cc.on_ack(2 * cc.mss, False, 10_000, 0)
+        assert cc.alpha == pytest.approx(start_alpha * 0.5)
+
+
+class TestThroughput:
+    def test_long_flow_saturates_10g_link(self):
+        testbed, sender, receiver, done = run_flow(
+            6_000_000, rate_gbps=10, until_ms=100, cc_factory=CubicCC)
+        assert done
+        goodput = receiver.rcv_nxt * 8 * SEC / done[0].fct_ns
+        assert goodput > 0.75 * 10e9  # most of the 10G link
+
+    def test_corruption_degrades_cubic_goodput(self):
+        """No LinkGuardian, 1e-2 loss: CUBIC goodput collapses (Table 3)."""
+        __, __, recv_clean, done_clean = run_flow(
+            2_000_000, rate_gbps=10, until_ms=120, cc_factory=CubicCC)
+        __, __, recv_loss, done_loss = run_flow(
+            2_000_000, rate_gbps=10, until_ms=800, cc_factory=CubicCC,
+            loss_rate=1e-2, seed=5)
+        assert done_clean and done_loss
+        # With RFC 6675 pipe management recovery is efficient, and the
+        # large switch buffer absorbs part of each AIMD cut — degradation
+        # is visible (>15%) though smaller than kernel TCP's.
+        assert done_loss[0].fct_ns > 1.15 * done_clean[0].fct_ns
+        assert done_loss[0].retransmissions > 50
