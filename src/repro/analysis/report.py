@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-__all__ = ["format_value", "render_table"]
+__all__ = ["format_value", "render_table", "histogram_rows"]
 
 
 def format_value(value) -> str:
@@ -37,3 +37,36 @@ def render_table(rows: Sequence[dict], columns: Sequence[str] = None) -> str:
     for line in formatted:
         lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
     return "\n".join(lines)
+
+
+def histogram_rows(snapshot: dict, unit_divisor: float = 1.0,
+                   unit: str = "ns") -> List[dict]:
+    """Rows for :func:`render_table` from a Histogram ``snapshot()`` dict.
+
+    Empty buckets below the first hit and above the last are elided so a
+    tight distribution doesn't print 18 zero rows.  ``unit_divisor``
+    rescales the native-ns bounds (1e3 -> us).
+    """
+    total = snapshot.get("count", 0)
+    rows: List[dict] = []
+    previous = 0
+    for bound, cumulative in snapshot.get("buckets", {}).items():
+        in_bucket = cumulative - previous
+        previous = cumulative
+        if cumulative == 0 or (in_bucket == 0 and cumulative == total):
+            continue
+        rows.append({
+            f"le_{unit}": bound / unit_divisor,
+            "count": in_bucket,
+            "cum": cumulative,
+            "cdf_%": round(100.0 * cumulative / total, 3) if total else 0.0,
+        })
+    overflow = snapshot.get("overflow", 0)
+    if overflow:
+        rows.append({
+            f"le_{unit}": float("inf"),
+            "count": overflow,
+            "cum": total,
+            "cdf_%": 100.0,
+        })
+    return rows

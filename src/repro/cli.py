@@ -11,11 +11,21 @@ Each command runs the corresponding experiment at (configurable)
 simulator scale and prints the same rows/series the paper reports.  The
 benchmark suite (``pytest benchmarks/ --benchmark-only``) runs the same
 experiments with shape assertions attached.
+
+Observability: ``--json`` switches every figure/table command to
+machine-readable output (a JSON array of row objects, one parseable
+document per table); ``--trace-out trace.json`` captures a Chrome
+trace-event file any run can open in Perfetto (``.jsonl`` extension
+selects the line-delimited raw event format instead); ``--metrics-out``
+dumps the metrics registry (``.prom`` extension selects the Prometheus
+text format).  ``python -m repro metrics`` runs a fig09-style timeline
+and prints the loss->recovery latency histogram.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -25,9 +35,33 @@ from .analysis.report import render_table
 
 __all__ = ["main"]
 
+#: set by main() from --json: _emit prints JSON rows instead of tables.
+_JSON_MODE = False
+
 
 def _print(text: str = "") -> None:
     sys.stdout.write(text + "\n")
+
+
+def _json_default(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return str(value)
+
+
+def _emit(rows, columns=None) -> None:
+    """Print dict-rows as an aligned table, or JSON under ``--json``."""
+    rows = list(rows)
+    if _JSON_MODE:
+        if columns is not None:
+            rows = [{col: row.get(col, "") for col in columns} for row in rows]
+        _print(json.dumps(rows, default=_json_default))
+    else:
+        _print(render_table(rows, columns))
 
 
 def cmd_fig01(args) -> None:
@@ -39,7 +73,7 @@ def cmd_fig01(args) -> None:
     for index, atten in enumerate(series["attenuation_db"]):
         if index % 4 == 0:
             rows.append({"atten_dB": atten, **{n: series[n][index] for n in names}})
-    _print(render_table(rows))
+    _emit(rows)
 
 
 def cmd_fig02(args) -> None:
@@ -51,13 +85,13 @@ def cmd_fig02(args) -> None:
         {"size_B": size, **{n: round(cdfs[n][i], 3) for n in WORKLOADS}}
         for i, size in enumerate(cdfs["size_bytes"])
     ]
-    _print(render_table(rows))
+    _emit(rows)
 
 
 def cmd_tab01(args) -> None:
     from .experiments.figures import table1_loss_buckets
 
-    _print(render_table(table1_loss_buckets()))
+    _emit(table1_loss_buckets())
 
 
 def cmd_fig08(args) -> None:
@@ -69,19 +103,30 @@ def cmd_fig08(args) -> None:
             for ordered in (True, False):
                 result = run_stress_test(
                     rate_gbps=rate_gbps, loss_rate=loss, ordered=ordered,
-                    duration_ms=args.duration_ms, seed=args.seed,
+                    duration_ms=args.duration_ms, seed=args.seed, obs=args.obs,
                 )
                 rows.append(result.row())
-    _print(render_table(rows))
+    _emit(rows)
 
 
 def cmd_fig09(args) -> None:
     from .experiments.timeline import run_timeline
+    from .linkguardian.config import LinkGuardianConfig
+    from .units import KB
 
+    # The phases run ~1000x shorter than the paper's 14 s; scaling the
+    # resume threshold down likewise keeps the pause/resume dynamics of
+    # Figure 9a visible at sim scale (--resume-kb 0 for paper scale).
+    config = None
+    if args.resume_kb > 0:
+        config = LinkGuardianConfig.for_link_speed(
+            25, ordered=True, backpressure=True,
+            resume_threshold_bytes=int(args.resume_kb * KB),
+        )
     result = run_timeline(
         "dctcp", rate_gbps=25, loss_rate=1e-3,
         clean_ms=args.duration_ms, loss_ms=2 * args.duration_ms,
-        lg_ms=2 * args.duration_ms,
+        lg_ms=2 * args.duration_ms, obs=args.obs, config=config,
     )
     rows = [
         {"t_ms": round(t, 2), "send_Gbps": round(r, 2), "qdepth_KB": round(q, 1),
@@ -91,7 +136,7 @@ def cmd_fig09(args) -> None:
             result.qdepth_kb[::4], result.rx_buffer_kb[::4], result.e2e_retx[::4],
         )
     ]
-    _print(render_table(rows))
+    _emit(rows)
 
 
 def _fct_command(transport_list, size, args, loss=None):
@@ -106,7 +151,7 @@ def _fct_command(transport_list, size, args, loss=None):
                 scenario=scenario, loss_rate=loss, seed=args.seed,
             )
             rows.append(result.summary())
-    _print(render_table(rows))
+    _emit(rows)
 
 
 def cmd_fig10(args) -> None:
@@ -129,7 +174,7 @@ def cmd_fig13(args) -> None:
         transport="dctcp", flow_size=24_387, n_trials=args.trials,
         scenario="lgnb", loss_rate=args.loss_rate, seed=args.seed,
     )
-    _print(render_table([result.classification().as_dict()]))
+    _emit([result.classification().as_dict()])
 
 
 def cmd_tab02(args) -> None:
@@ -138,7 +183,7 @@ def cmd_tab02(args) -> None:
     study = run_mechanism_study(n_trials=args.trials, loss_rate=args.loss_rate,
                                 seed=args.seed)
     rows = [dict(variant=name, **vals) for name, vals in study.items()]
-    _print(render_table(rows, ["variant", "p50", "p99", "p99.9", "p99.99", "trials"]))
+    _emit(rows, ["variant", "p50", "p99", "p99.9", "p99.99", "trials"])
 
 
 def cmd_tab03(args) -> None:
@@ -154,7 +199,7 @@ def cmd_tab03(args) -> None:
             row[scheme] = round(run_goodput(scheme, loss_rate=loss,
                                             seed=args.seed)["goodput_gbps"], 2)
         rows.append(row)
-    _print(render_table(rows))
+    _emit(rows)
 
 
 def cmd_tab04(args) -> None:
@@ -164,13 +209,14 @@ def cmd_tab04(args) -> None:
     for rate_gbps in (25, 100):
         for loss in (1e-5, 1e-4, 1e-3):
             result = run_stress_test(rate_gbps=rate_gbps, loss_rate=loss,
-                                     duration_ms=args.duration_ms, seed=args.seed)
+                                     duration_ms=args.duration_ms, seed=args.seed,
+                                     obs=args.obs)
             rows.append({
                 "link": f"{rate_gbps:g}G", "loss": loss,
                 "tx_%pipe": round(result.recirc_overhead_tx_percent, 4),
                 "rx_%pipe": round(result.recirc_overhead_rx_percent, 4),
             })
-    _print(render_table(rows))
+    _emit(rows)
 
 
 def cmd_fig14(args) -> None:
@@ -182,26 +228,28 @@ def cmd_fig14(args) -> None:
             for ordered in (True, False):
                 r = run_stress_test(rate_gbps=rate_gbps, loss_rate=loss,
                                     ordered=ordered,
-                                    duration_ms=args.duration_ms, seed=args.seed)
+                                    duration_ms=args.duration_ms, seed=args.seed,
+                                    obs=args.obs)
                 rows.append({
                     "link": f"{rate_gbps:g}G", "loss": loss,
                     "mode": "LG" if ordered else "LG_NB",
                     "tx_max_KB": round(r.tx_buffer["max"] / 1e3, 1),
                     "rx_max_KB": round(r.rx_buffer["max"] / 1e3, 1),
                 })
-    _print(render_table(rows))
+    _emit(rows)
 
 
 def cmd_fig15(args) -> None:
     from .experiments.deployment import run_deployment_comparison
 
+    rows = []
     for constraint in (0.50, 0.75):
         comparison = run_deployment_comparison(
             capacity_constraint=constraint, duration_days=args.days,
             mttf_hours=args.mttf_hours, seed=args.seed,
         )
-        _print(f"\ncapacity constraint {constraint:.0%}:")
-        _print(render_table([comparison.summary()]))
+        rows.append({"constraint": f"{constraint:.0%}", **comparison.summary()})
+    _emit(rows)
 
 
 def cmd_fig16(args) -> None:
@@ -222,7 +270,7 @@ def cmd_fig16(args) -> None:
             "cap_dec_p99_%": round(float(np.percentile(
                 comparison.capacity_decrease(), 99)), 3),
         })
-    _print(render_table(rows))
+    _emit(rows)
 
 
 def cmd_fig19(args) -> None:
@@ -233,7 +281,8 @@ def cmd_fig19(args) -> None:
         delays: List[float] = []
         for loss in (1e-3, 5e-3):
             result = run_stress_test(rate_gbps=rate_gbps, loss_rate=loss,
-                                     duration_ms=args.duration_ms, seed=args.seed)
+                                     duration_ms=args.duration_ms, seed=args.seed,
+                                     obs=args.obs)
             delays.extend(result.retx_delays_us)
         data = np.asarray(delays)
         rows.append({
@@ -242,7 +291,7 @@ def cmd_fig19(args) -> None:
             "p50_us": round(float(np.median(data)), 2),
             "max_us": round(float(data.max()), 2),
         })
-    _print(render_table(rows))
+    _emit(rows)
 
 
 def cmd_fig20(args) -> None:
@@ -253,7 +302,7 @@ def cmd_fig20(args) -> None:
     for rate, data in results.items():
         rows.append({"loss": rate,
                      **{f"<={k}": round(v, 6) for k, v in data["cdf"].items()}})
-    _print(render_table(rows))
+    _emit(rows)
 
 
 def cmd_fig21(args) -> None:
@@ -264,7 +313,7 @@ def cmd_fig21(args) -> None:
         result = run_timeline(transport, rate_gbps=rate_gbps, loss_rate=1e-3,
                               clean_ms=args.duration_ms,
                               loss_ms=2 * args.duration_ms,
-                              lg_ms=2 * args.duration_ms)
+                              lg_ms=2 * args.duration_ms, obs=args.obs)
         rows.append({
             "transport": transport, "link": f"{rate_gbps}G",
             "clean_Gbps": round(result.phase_mean_rate(
@@ -274,7 +323,7 @@ def cmd_fig21(args) -> None:
             "lg_Gbps": round(result.phase_mean_rate(
                 result.lg_start_ms + 4, result.times_ms[-1]), 2),
         })
-    _print(render_table(rows))
+    _emit(rows)
 
 
 def cmd_export(args) -> None:
@@ -289,8 +338,57 @@ def cmd_export(args) -> None:
 def cmd_incremental(args) -> None:
     from .experiments.incremental import run_incremental_deployment
 
-    _print(render_table(run_incremental_deployment(
-        duration_days=args.days, seed=args.seed)))
+    _emit(run_incremental_deployment(
+        duration_days=args.days, seed=args.seed))
+
+
+def cmd_metrics(args) -> None:
+    """Instrumented fig09-style run + registry summary (the obs showcase)."""
+    from .analysis.report import histogram_rows
+    from .experiments.timeline import run_timeline
+    from .obs import Observability
+
+    obs = args.obs if args.obs is not None else Observability()
+    args.obs = obs  # so --trace-out/--metrics-out pick the run up too
+    run_timeline(
+        "dctcp", rate_gbps=25, loss_rate=1e-3,
+        clean_ms=args.duration_ms, loss_ms=2 * args.duration_ms,
+        lg_ms=2 * args.duration_ms, seed=args.seed, obs=obs,
+    )
+    snapshot = obs.registry.snapshot()
+
+    if not _JSON_MODE:
+        _print("loss -> recovery latency (retx delay):")
+    hist_name = next(
+        (n for n in snapshot if n.endswith(".retx_delay_ns")), None)
+    hist = obs.registry.get(hist_name) if hist_name else None
+    if hist is not None and hist.count:
+        _emit(histogram_rows(hist.snapshot(), unit_divisor=1e3, unit="us"))
+        if not _JSON_MODE:
+            _print(f"samples={hist.count}  mean={hist.mean / 1e3:.2f}us  "
+                   f"p50<={hist.percentile(50) / 1e3:g}us  "
+                   f"p99<={hist.percentile(99) / 1e3:g}us")
+    else:
+        _emit([])
+
+    if not _JSON_MODE:
+        _print()
+        _print("registry summary:")
+    rows = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        if entry.get("type") == "histogram":
+            rows.append({"metric": name, "kind": "histogram",
+                         "value": entry["count"]})
+        elif entry.get("type") in ("counter", "gauge"):
+            rows.append({"metric": name, "kind": entry["type"],
+                         "value": entry["value"]})
+        else:
+            for key, value in sorted(entry.items()):
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    rows.append({"metric": f"{name}.{key}",
+                                 "kind": "stat", "value": round(value, 6)})
+    _emit(rows)
 
 
 COMMANDS = {
@@ -314,6 +412,7 @@ COMMANDS = {
     "fig21": (cmd_fig21, "CUBIC and BBR timelines"),
     "incremental": (cmd_incremental, "partial-deployment sweep (§5)"),
     "export": (cmd_export, "convert benchmarks/results JSON to .dat/.csv"),
+    "metrics": (cmd_metrics, "instrumented run + metrics-registry summary"),
 }
 
 
@@ -339,15 +438,59 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="where the benchmark suite saved its JSON")
     parser.add_argument("--out-dir", default="figures",
                         help="where to write .dat/.csv files (export)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output: JSON rows, not tables")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a Chrome trace-event file (Perfetto); "
+                             "a .jsonl extension selects raw JSONL events")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the metrics registry (JSON, or "
+                             "Prometheus text with a .prom extension)")
+    parser.add_argument("--resume-kb", type=float, default=2.0,
+                        help="fig09 backpressure resume threshold in KB, "
+                             "scaled down like the phase durations so "
+                             "pause/resume dynamics show at sim scale; "
+                             "<= 0 restores the paper's 25G default")
     args = parser.parse_args(argv)
+
+    global _JSON_MODE
+    _JSON_MODE = args.json
+
+    args.obs = None
+    if args.trace_out or args.metrics_out:
+        from .obs import Observability
+
+        args.obs = Observability()
 
     if args.experiment == "list":
         rows = [{"experiment": name, "description": desc}
                 for name, (_, desc) in COMMANDS.items()]
-        _print(render_table(rows))
+        _emit(rows)
         return 0
     command, _ = COMMANDS[args.experiment]
     command(args)
+
+    if args.obs is not None:
+        from .obs import (
+            write_chrome_trace, write_jsonl,
+            write_metrics_json, write_metrics_prometheus,
+        )
+
+        if args.trace_out:
+            if args.trace_out.endswith(".jsonl"):
+                write_jsonl(args.trace_out, args.obs.tracer)
+            else:
+                write_chrome_trace(args.trace_out, args.obs.tracer,
+                                   args.obs.registry)
+            if not _JSON_MODE:
+                _print(f"trace written to {args.trace_out}")
+        if args.metrics_out:
+            if args.metrics_out.endswith(".prom"):
+                write_metrics_prometheus(args.metrics_out, args.obs.registry)
+            else:
+                write_metrics_json(args.metrics_out, args.obs.registry)
+            if not _JSON_MODE:
+                _print(f"metrics written to {args.metrics_out}")
     return 0
 
 

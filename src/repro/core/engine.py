@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Any, Callable, List, Optional, Tuple
 
 __all__ = ["Event", "Simulator", "SimError"]
@@ -58,12 +59,17 @@ class Event:
 class Simulator:
     """Single-threaded discrete-event simulator with integer-ns time."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs=None) -> None:
         self._now: int = 0
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        self._heap_high_watermark = 0
+        self._wall_seconds = 0.0
+        self.obs = obs
+        if obs is not None:
+            obs.registry.register_provider("engine", self.obs_snapshot)
 
     @property
     def now(self) -> int:
@@ -74,6 +80,34 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of events dispatched so far (for overhead accounting)."""
         return self._events_processed
+
+    @property
+    def heap_high_watermark(self) -> int:
+        """Largest number of pending events ever held at once."""
+        return self._heap_high_watermark
+
+    @property
+    def wall_seconds(self) -> float:
+        """Host wall-clock time spent inside :meth:`run` so far."""
+        return self._wall_seconds
+
+    def obs_snapshot(self) -> dict:
+        """Kernel self-measurement: the substrate for all perf claims."""
+        sim_seconds = self._now / 1e9
+        return {
+            "events_processed": self._events_processed,
+            "heap_high_watermark": self._heap_high_watermark,
+            "heap_pending": len(self._heap),
+            "sim_time_ns": self._now,
+            "wall_seconds": self._wall_seconds,
+            "wall_seconds_per_sim_second": (
+                self._wall_seconds / sim_seconds if sim_seconds > 0 else 0.0
+            ),
+            "events_per_wall_second": (
+                self._events_processed / self._wall_seconds
+                if self._wall_seconds > 0 else 0.0
+            ),
+        }
 
     def schedule(self, delay: int, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
@@ -88,6 +122,8 @@ class Simulator:
             raise SimError(f"cannot schedule at t={time} < now={self._now}")
         event = Event(time, next(self._seq), callback, args)
         heapq.heappush(self._heap, event)
+        if len(self._heap) > self._heap_high_watermark:
+            self._heap_high_watermark = len(self._heap)
         return event
 
     def peek(self) -> Optional[int]:
@@ -123,6 +159,7 @@ class Simulator:
             raise SimError("run() is not reentrant")
         self._running = True
         dispatched = 0
+        wall_start = time.perf_counter()
         try:
             while True:
                 next_time = self.peek()
@@ -136,6 +173,7 @@ class Simulator:
                 dispatched += 1
         finally:
             self._running = False
+            self._wall_seconds += time.perf_counter() - wall_start
         if until is not None and self._now < until:
             self._now = int(until)
         return self._now

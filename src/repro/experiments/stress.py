@@ -82,6 +82,7 @@ def run_stress_test(
     config: Optional[LinkGuardianConfig] = None,
     n_copies_override: Optional[int] = None,
     recirc_drain_gbps: Optional[float] = None,
+    obs=None,
 ) -> StressResult:
     """Run one stress-test cell (one bar of Figure 8)."""
     if config is None:
@@ -92,6 +93,7 @@ def run_stress_test(
         rate_gbps=rate_gbps, loss_rate=loss_rate, ordered=ordered,
         lg_active=False, seed=seed, config=config, mean_burst=mean_burst,
         ecn_threshold_bytes=None, recirc_drain_gbps=recirc_drain_gbps,
+        obs=obs,
     )
     sim = testbed.sim
     plink = testbed.plink

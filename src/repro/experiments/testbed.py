@@ -76,6 +76,7 @@ def build_testbed(
     normal_queue_capacity: int = 2_000 * KB,
     mean_burst: float = 1.0,
     recirc_drain_gbps: Optional[float] = None,
+    obs=None,
 ) -> Testbed:
     """Build the two-switch testbed.
 
@@ -89,8 +90,10 @@ def build_testbed(
         recirc_drain_gbps: reordering-buffer drain rate; defaults to the
             recirculation port's 100G, or the link rate if faster (a
             400G link needs aggregated recirculation ports, §5).
+        obs: optional :class:`~repro.obs.Observability` shared by the
+            engine, links, queues and LinkGuardian endpoints.
     """
-    sim = Simulator()
+    sim = Simulator(obs=obs)
     rng = RngFactory(seed)
     if loss is None and loss_rate > 0:
         if mean_burst > 1.0:
@@ -116,6 +119,7 @@ def build_testbed(
             else max(100.0, rate_gbps)
         ),
         phase_rng=rng.stream("recirc-phase"),
+        obs=obs,
     )
     if lg_active:
         plink.activate(loss.rate if loss is not None and loss.rate > 0 else 1e-4)

@@ -77,15 +77,18 @@ def run_timeline(
     seed: int = 2,
     rx_buffer_capacity: Optional[int] = None,
     queue_capacity: int = 2_000_000,
+    obs=None,
+    config: Optional[LinkGuardianConfig] = None,
 ) -> TimelineResult:
     """Run one Figure 9/21-style timeline."""
-    config = LinkGuardianConfig.for_link_speed(
-        rate_gbps, ordered=ordered, backpressure=backpressure,
-        **({"rx_buffer_capacity_bytes": rx_buffer_capacity} if rx_buffer_capacity else {}),
-    )
+    if config is None:
+        config = LinkGuardianConfig.for_link_speed(
+            rate_gbps, ordered=ordered, backpressure=backpressure,
+            **({"rx_buffer_capacity_bytes": rx_buffer_capacity} if rx_buffer_capacity else {}),
+        )
     testbed = build_testbed(
         rate_gbps=rate_gbps, loss_rate=0.0, lg_active=False, seed=seed,
-        config=config, normal_queue_capacity=queue_capacity,
+        config=config, normal_queue_capacity=queue_capacity, obs=obs,
     )
     sim = testbed.sim
     # The sender NIC runs at the link rate, as in the paper's testbed:
@@ -112,11 +115,19 @@ def run_timeline(
     corruption_at = int(clean_ms * MS)
     lg_at = int((clean_ms + loss_ms) * MS)
 
+    tracer = obs.tracer if obs is not None else None
+
     def start_corruption():
         testbed.plink.set_loss(BernoulliLoss(loss_rate, rng.stream("timeline-loss")))
+        if tracer is not None and tracer.enabled:
+            tracer.instant(sim.now, "experiment", "corruption_start",
+                           {"loss_rate": loss_rate})
 
     def start_lg():
-        testbed.plink.activate(loss_rate)
+        n_copies = testbed.plink.activate(loss_rate)
+        if tracer is not None and tracer.enabled:
+            tracer.instant(sim.now, "experiment", "lg_activate",
+                           {"n_copies": n_copies})
 
     sim.schedule_at(corruption_at, start_corruption)
     sim.schedule_at(lg_at, start_lg)

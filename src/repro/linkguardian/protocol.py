@@ -56,12 +56,14 @@ class ProtectedLink:
         recirc_drain_bps: int = gbps(100),
         port_prefix: str = "lg",
         phase_rng=None,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.sender_switch = sender_switch
         self.receiver_switch = receiver_switch
         self.rate_bps = int(rate_bps)
         self.config = config if config is not None else LinkGuardianConfig()
+        self.obs = obs
 
         # Each switch has exactly one port facing its peer: the sender
         # switch's port toward the receiver carries the forward direction
@@ -75,6 +77,7 @@ class ProtectedLink:
             receiver=receiver_switch.receiver_for(rev_name),
             loss=loss,
             name=f"{sender_switch.name}->{receiver_switch.name}",
+            obs=obs,
         )
         forward_queues = [
             Queue(name="retx"),
@@ -96,6 +99,7 @@ class ProtectedLink:
             receiver=sender_switch.receiver_for(fwd_name),
             loss=reverse_loss,
             name=f"{receiver_switch.name}->{sender_switch.name}",
+            obs=obs,
         )
         reverse_queues = [
             Queue(name="ctrl"),
@@ -119,6 +123,7 @@ class ProtectedLink:
             forward_reverse=self._continue_on_sender_switch,
             name=f"lgs:{self.forward_link.name}",
             phase_rng=phase_rng,
+            obs=obs,
         )
         self.receiver = LgReceiver(
             sim, self.config,
@@ -126,7 +131,12 @@ class ProtectedLink:
             reverse_port=self.receiver_port.egress,
             drain_rate_bps=recirc_drain_bps,
             name=f"lgr:{self.forward_link.name}",
+            obs=obs,
         )
+        if obs is not None:
+            # Queue-depth gauges and watermarks for both directions.
+            self.sender_port.egress.attach_obs(obs)
+            self.receiver_port.egress.attach_obs(obs)
 
         # Hook the endpoints into the switch datapaths.  Ingress-side LG
         # processing (loss detection, notification/ACK handling) happens

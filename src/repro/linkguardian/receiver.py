@@ -24,10 +24,12 @@ The receiver sits at the ingress of the corrupting link.  It:
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
 
 from ..analysis.stats import OccupancyTracker
 from ..core.engine import Simulator
+from ..obs.trace import NULL_TRACER
 from ..packets.packet import (
     LG_HEADER_BYTES, LgAckHeader, Packet, PacketKind,
 )
@@ -39,25 +41,36 @@ from .config import LinkGuardianConfig
 __all__ = ["LgReceiver", "ReceiverStats"]
 
 
+@dataclass
 class ReceiverStats:
     """Counters the evaluation harness reads off a receiver."""
 
-    def __init__(self) -> None:
-        self.delivered = 0            # protected packets handed to forwarding
-        self.delivered_bytes = 0
-        self.recovered = 0            # losses masked by a retransmission
-        self.loss_events = 0          # distinct missing seqNos detected
-        self.notifications = 0        # loss-notification packets sent
-        self.timeouts = 0             # ackNoTimeout expiries (effective loss)
-        self.duplicates_dropped = 0   # extra retx copies de-duplicated
-        self.overflow_drops = 0       # reordering-buffer overflows
-        self.reordered_deliveries = 0 # NB-mode out-of-order deliveries
-        self.pauses_sent = 0
-        self.resumes_sent = 0
-        self.explicit_acks = 0
-        self.dummies_seen = 0
-        self.recirc_passes = 0        # reordering-buffer loop passes
-        self.retx_delays_ns = []      # loss detected -> retx received (Fig 19)
+    delivered: int = 0            # protected packets handed to forwarding
+    delivered_bytes: int = 0
+    recovered: int = 0            # losses masked by a retransmission
+    loss_events: int = 0          # distinct missing seqNos detected
+    notifications: int = 0        # loss-notification packets sent
+    timeouts: int = 0             # ackNoTimeout expiries (effective loss)
+    duplicates_dropped: int = 0   # extra retx copies de-duplicated
+    overflow_drops: int = 0       # reordering-buffer overflows
+    reordered_deliveries: int = 0 # NB-mode out-of-order deliveries
+    pauses_sent: int = 0
+    resumes_sent: int = 0
+    explicit_acks: int = 0
+    dummies_seen: int = 0
+    recirc_passes: int = 0        # reordering-buffer loop passes
+    #: loss detected -> retx received, per recovery (Fig 19); summarized
+    #: (not dumped) by snapshot() — the histogram metric keeps the shape.
+    retx_delays_ns: List[int] = field(default_factory=list)
+
+    def snapshot(self) -> dict:
+        snap = {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+            if name != "retx_delays_ns"
+        }
+        snap["retx_delay_samples"] = len(self.retx_delays_ns)
+        return snap
 
 
 class LgReceiver:
@@ -77,6 +90,7 @@ class LgReceiver:
         drain_rate_bps: int = gbps(100),
         name: str = "lg-receiver",
         manage_port_hooks: bool = True,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -85,6 +99,20 @@ class LgReceiver:
         self.drain_rate_bps = int(drain_rate_bps)
         self.name = name
         self.stats = ReceiverStats()
+        self._tracer = obs.tracer if obs is not None else NULL_TRACER
+        self._retx_delay_hist = None
+        self._pause_hist = None
+        self._paused_at = None
+        if obs is not None:
+            obs.registry.register_provider(f"lg.receiver.{name}", self.obs_snapshot)
+            # The loss -> recovery latency distribution: the paper's
+            # central sub-RTT claim (Figure 19) read straight off a run.
+            self._retx_delay_hist = obs.registry.histogram(
+                f"lg.receiver.{name}.retx_delay_ns"
+            )
+            self._pause_hist = obs.registry.histogram(
+                f"lg.receiver.{name}.pause_ns"
+            )
 
         self._next_rx = SeqCounter()       # next seqNo expected off the wire
         self._ack_no = SeqCounter()        # next seqNo to deliver (ordered mode)
@@ -142,6 +170,14 @@ class LgReceiver:
             self._send_control(self._control_packet(PacketKind.LG_RESUME))
 
     # -- helpers ----------------------------------------------------------------
+
+    def obs_snapshot(self) -> dict:
+        snap = self.stats.snapshot()
+        snap["buffer_bytes"] = self._buffer_bytes
+        snap["buffer_packets"] = len(self._buffer)
+        snap["missing_outstanding"] = len(self._missing)
+        snap["active"] = self._active
+        return snap
 
     @property
     def next_rx(self) -> tuple:
@@ -224,6 +260,11 @@ class LgReceiver:
         notification.meta["lg_missing"] = tuple(missing_keys)
         notification.meta["lg_next_rx"] = (self._next_rx.era, self._next_rx.value)
         self.stats.notifications += 1
+        if self._tracer.enabled:
+            self._tracer.instant(self.sim.now, "lg.receiver", "loss_notification", {
+                "missing": len(missing_keys),
+                "first_seq": missing_keys[0][1], "era": missing_keys[0][0],
+            })
         self._send_control(notification)
 
     def _record_retx_arrival(self, seqno: int, era: int) -> None:
@@ -231,7 +272,14 @@ class LgReceiver:
         if key in self._missing:
             detected = self._missing.pop(key)
             self.stats.recovered += 1
-            self.stats.retx_delays_ns.append(self.sim.now - detected)
+            delay = self.sim.now - detected
+            self.stats.retx_delays_ns.append(delay)
+            if self._retx_delay_hist is not None:
+                self._retx_delay_hist.observe(delay)
+            if self._tracer.enabled:
+                self._tracer.instant(self.sim.now, "lg.receiver", "recovered", {
+                    "seq": seqno, "era": era, "delay_ns": delay,
+                })
 
     # -- Algorithm 1: de-duplication & in-order recovery ---------------------------
 
@@ -333,6 +381,10 @@ class LgReceiver:
             return  # recovered in time
         self._missing.pop(key)
         self.stats.timeouts += 1
+        if self._tracer.enabled:
+            self._tracer.instant(self.sim.now, "lg.receiver", "ack_no_timeout", {
+                "seq": key[1], "era": key[0],
+            })
         if not self.config.ordered:
             return
         if key == self._key(self._ack_no):
@@ -365,6 +417,9 @@ class LgReceiver:
     def _buffer_update(self, delta: int) -> None:
         self._buffer_bytes += delta
         self.rx_occupancy.update(self.sim.now, self._buffer_bytes)
+        if self._tracer.enabled:
+            self._tracer.counter(self.sim.now, "lg.receiver",
+                                 "rx_buffer_bytes", self._buffer_bytes)
         self._check_backpressure()
 
     def _check_backpressure(self) -> None:
@@ -374,10 +429,21 @@ class LgReceiver:
         if depth >= self.config.pause_threshold_bytes and not self._paused_sender:
             self._paused_sender = True
             self.stats.pauses_sent += 1
+            self._paused_at = self.sim.now
+            if self._tracer.enabled:
+                self._tracer.begin(self.sim.now, "lg.receiver", "pause",
+                                   {"buffer_bytes": depth})
             self._send_control(self._control_packet(PacketKind.LG_PAUSE))
         elif depth <= self.config.resume_threshold_bytes and self._paused_sender:
             self._paused_sender = False
             self.stats.resumes_sent += 1
+            if self._paused_at is not None:
+                if self._pause_hist is not None:
+                    self._pause_hist.observe(self.sim.now - self._paused_at)
+                self._paused_at = None
+            if self._tracer.enabled:
+                self._tracer.end(self.sim.now, "lg.receiver", "pause",
+                                 {"buffer_bytes": depth})
             self._send_control(self._control_packet(PacketKind.LG_RESUME))
 
     # -- reverse direction: ACKs (§3.1) --------------------------------------------------

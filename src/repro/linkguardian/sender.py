@@ -30,10 +30,12 @@ go quiet, letting the receiver detect tail losses without any timeout
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import asdict, dataclass
 from typing import Callable, Optional
 
 from ..analysis.stats import OccupancyTracker
 from ..core.engine import Simulator
+from ..obs.trace import NULL_TRACER
 from ..packets.packet import LG_HEADER_BYTES, LgDataHeader, Packet, PacketKind
 from ..packets.seqno import SeqCounter, seq_compare
 from ..switchsim.port import EgressPort
@@ -42,21 +44,24 @@ from .config import LinkGuardianConfig
 __all__ = ["LgSender", "SenderStats"]
 
 
+@dataclass
 class SenderStats:
     """Counters the evaluation harness reads off a sender."""
 
-    def __init__(self) -> None:
-        self.protected = 0           # data packets stamped + mirrored
-        self.unprotected = 0         # sent without a buffer copy (Tx buffer full)
-        self.retx_events = 0         # distinct packets retransmitted
-        self.retx_copies = 0         # total copies injected (N per event)
-        self.retx_misses = 0         # requested but no longer buffered
-        self.reqs_overflow = 0       # losses beyond the reTxReqs registers
-        self.freed = 0               # buffer copies freed by ACKs
-        self.dummies_sent = 0
-        self.pauses = 0
-        self.resumes = 0
-        self.recirc_passes = 0       # Tx-buffer recirculation loop passes
+    protected: int = 0           # data packets stamped + mirrored
+    unprotected: int = 0         # sent without a buffer copy (Tx buffer full)
+    retx_events: int = 0         # distinct packets retransmitted
+    retx_copies: int = 0         # total copies injected (N per event)
+    retx_misses: int = 0         # requested but no longer buffered
+    reqs_overflow: int = 0       # losses beyond the reTxReqs registers
+    freed: int = 0               # buffer copies freed by ACKs
+    dummies_sent: int = 0
+    pauses: int = 0
+    resumes: int = 0
+    recirc_passes: int = 0       # Tx-buffer recirculation loop passes
+
+    def snapshot(self) -> dict:
+        return asdict(self)
 
 
 class _TxEntry:
@@ -88,6 +93,7 @@ class LgSender:
         name: str = "lg-sender",
         phase_rng=None,
         manage_port_hooks: bool = True,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -96,6 +102,12 @@ class LgSender:
         self.forward_reverse = forward_reverse
         self.name = name
         self.stats = SenderStats()
+        self._tracer = obs.tracer if obs is not None else NULL_TRACER
+        self._pause_hist = None
+        self._paused_at: Optional[int] = None
+        if obs is not None:
+            obs.registry.register_provider(f"lg.sender.{name}", self.obs_snapshot)
+            self._pause_hist = obs.registry.histogram(f"lg.sender.{name}.pause_ns")
 
         self._seq = SeqCounter()
         self._acked_next = (0, 0)          # receiver's next expected (value, era)
@@ -190,11 +202,22 @@ class LgSender:
             if not self.port.is_paused(self.NORMAL_QUEUE):
                 self.stats.pauses += 1
                 self.port.pause(self.NORMAL_QUEUE)
+                self._paused_at = self.sim.now
+                if self._tracer.enabled:
+                    self._tracer.begin(self.sim.now, "lg.sender", "pause",
+                                       {"link": self.name})
             return
         if packet.kind is PacketKind.LG_RESUME:
             if self.port.is_paused(self.NORMAL_QUEUE):
                 self.stats.resumes += 1
                 self.port.resume(self.NORMAL_QUEUE)
+                if self._paused_at is not None:
+                    if self._pause_hist is not None:
+                        self._pause_hist.observe(self.sim.now - self._paused_at)
+                    self._paused_at = None
+                if self._tracer.enabled:
+                    self._tracer.end(self.sim.now, "lg.sender", "pause",
+                                     {"link": self.name})
             return
         # Normal reverse traffic: strip the piggybacked ACK header and
         # hand the packet back to the switch pipeline.
@@ -262,6 +285,10 @@ class LgSender:
         self._buffer_bytes -= entry.packet.size
         self.tx_occupancy.update(self.sim.now, self._buffer_bytes)
         self.stats.retx_events += 1
+        if self._tracer.enabled:
+            self._tracer.instant(self.sim.now, "lg.sender", "retx_fire", {
+                "seq": entry.seqno, "era": entry.era, "copies": self.n_copies,
+            })
         for _ in range(self.n_copies):
             copy = entry.packet.copy()
             copy.kind = PacketKind.LG_RETX
@@ -307,6 +334,13 @@ class LgSender:
                 self.sim.schedule(self.config.replenish_delay_ns, self._enqueue_dummy)
 
     # -- introspection ------------------------------------------------------------
+
+    def obs_snapshot(self) -> dict:
+        snap = self.stats.snapshot()
+        snap["buffer_bytes"] = self._buffer_bytes
+        snap["buffer_packets"] = len(self._buffer)
+        snap["active"] = self._active
+        return snap
 
     @property
     def buffer_bytes(self) -> int:

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..core.engine import Simulator
 from ..linkguardian.protocol import ProtectedLink
+from ..obs.trace import NULL_TRACER
 from ..units import SEC
 
 __all__ = ["PubSubBus", "Corruptd", "CorruptionNotice"]
@@ -72,6 +73,7 @@ class Corruptd:
         window_frames: int = 100_000_000,
         activation_threshold: float = 1e-8,
         deactivation: bool = False,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.plink = plink
@@ -85,7 +87,23 @@ class Corruptd:
         self._snapshots: deque = deque()  # (rx_all, rx_ok)
         self._notified = False
         self._running = False
+        self.polls = 0
+        self._tracer = obs.tracer if obs is not None else NULL_TRACER
+        if obs is not None:
+            obs.registry.register_provider(
+                f"corruptd.{plink.forward_link.name}", self.obs_snapshot
+            )
         bus.subscribe(self.channel, self._on_notice)
+
+    def obs_snapshot(self) -> dict:
+        loss = self.window_loss_rate()
+        return {
+            "polls": self.polls,
+            "notices": len(self.notices),
+            "notified": self._notified,
+            "running": self._running,
+            "window_loss_rate": loss if loss is not None else 0.0,
+        }
 
     # -- polling loop -------------------------------------------------------------
 
@@ -115,6 +133,7 @@ class Corruptd:
     def _poll(self) -> None:
         if not self._running:
             return
+        self.polls += 1
         counters = self.plink.forward_link.rx_counters
         self._snapshots.append((counters.frames_rx_all, counters.frames_rx_ok))
         while len(self._snapshots) > 2 and (
@@ -129,6 +148,10 @@ class Corruptd:
                     self.plink.forward_link.name, loss, self.sim.now
                 )
                 self.notices.append(notice)
+                if self._tracer.enabled:
+                    self._tracer.instant(self.sim.now, "corruptd", "corruption_notice", {
+                        "link": notice.link_name, "loss_rate": loss,
+                    })
                 self.bus.publish(self.channel, notice)
             elif self.deactivation and self._notified and loss < self.activation_threshold:
                 self._notified = False
@@ -136,6 +159,10 @@ class Corruptd:
                     self.plink.forward_link.name, loss, self.sim.now, cleared=True
                 )
                 self.notices.append(notice)
+                if self._tracer.enabled:
+                    self._tracer.instant(self.sim.now, "corruptd", "corruption_cleared", {
+                        "link": notice.link_name, "loss_rate": loss,
+                    })
                 self.bus.publish(self.channel, notice)
         self.sim.schedule(self.poll_interval_ns, self._poll)
 
@@ -144,6 +171,14 @@ class Corruptd:
     def _on_notice(self, notice: CorruptionNotice) -> None:
         """The upstream corruptd pushes dataplane entries (activation)."""
         if notice.cleared:
+            if self._tracer.enabled:
+                self._tracer.instant(self.sim.now, "corruptd", "lg_deactivate",
+                                     {"link": notice.link_name})
             self.plink.deactivate()
         else:
-            self.plink.activate(notice.loss_rate)
+            n_copies = self.plink.activate(notice.loss_rate)
+            if self._tracer.enabled:
+                self._tracer.instant(self.sim.now, "corruptd", "lg_activate", {
+                    "link": notice.link_name, "n_copies": n_copies,
+                    "loss_rate": notice.loss_rate,
+                })

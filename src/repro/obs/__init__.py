@@ -1,0 +1,46 @@
+"""Unified simulation observability: metrics registry + event tracer.
+
+One :class:`Observability` object is threaded through a run — engine,
+switch model, LinkGuardian endpoints, corruptd — and everything records
+into its shared :class:`~repro.obs.metrics.MetricsRegistry` and
+:class:`~repro.obs.trace.Tracer`.  Components accept ``obs=None`` and
+fall back to :data:`~repro.obs.trace.NULL_TRACER` / skip registration,
+so an uninstrumented run pays only a disabled-flag test on the hot path.
+
+Typical usage::
+
+    obs = Observability()
+    result = run_timeline("dctcp", obs=obs)
+    write_chrome_trace("trace.json", obs.tracer, obs.registry)  # Perfetto
+    print(obs.registry.prometheus_text())
+"""
+
+from __future__ import annotations
+
+from .export import (
+    events_to_jsonl, to_chrome_trace, write_chrome_trace, write_jsonl,
+    write_metrics_json, write_metrics_prometheus,
+)
+from .metrics import (
+    DEFAULT_NS_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry,
+)
+from .trace import NULL_TRACER, TraceEvent, Tracer
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "DEFAULT_NS_BUCKETS",
+    "Tracer", "TraceEvent", "NULL_TRACER",
+    "to_chrome_trace", "write_chrome_trace", "events_to_jsonl", "write_jsonl",
+    "write_metrics_json", "write_metrics_prometheus",
+]
+
+
+class Observability:
+    """A registry plus a tracer, handed to every component of one run."""
+
+    def __init__(self, tracing: bool = True, trace_capacity: int = 1 << 16) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(capacity=trace_capacity, enabled=tracing)
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()

@@ -1,0 +1,110 @@
+"""Exporters: JSONL, Chrome trace-event JSON (Perfetto) and Prometheus text.
+
+The Chrome trace-event format is the JSON schema Perfetto and
+``chrome://tracing`` open directly: a ``traceEvents`` array where every
+record carries ``name``/``cat``/``ph``/``ts``/``pid``/``tid``.  Timestamps
+are **microseconds**; the simulator's integer nanoseconds are divided by
+1000.0 so sub-µs spacing survives as fractional ts.  Events are sorted by
+timestamp before export so traces stitched from several runs still load.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from .metrics import MetricsRegistry
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "to_chrome_trace", "write_chrome_trace",
+    "events_to_jsonl", "write_jsonl",
+    "write_metrics_json", "write_metrics_prometheus",
+]
+
+#: Stable thread-track ids per category so Perfetto groups related events.
+_CATEGORY_TIDS = {
+    "engine": 1,
+    "link": 2,
+    "lg": 3,
+    "lg.sender": 4,
+    "lg.receiver": 5,
+    "corruptd": 6,
+}
+_DEFAULT_TID = 9
+
+
+def _sorted_events(tracer: Tracer) -> List[TraceEvent]:
+    return sorted(tracer.events(), key=lambda e: e.ts)
+
+
+def to_chrome_trace(tracer: Tracer,
+                    registry: Optional[MetricsRegistry] = None) -> dict:
+    """Render retained events as a Chrome trace-event JSON object."""
+    trace_events = []
+    for event in _sorted_events(tracer):
+        record = {
+            "name": event.name,
+            "cat": event.category,
+            "ph": event.phase,
+            "ts": event.ts / 1000.0,
+            "pid": 1,
+            "tid": _CATEGORY_TIDS.get(event.category, _DEFAULT_TID),
+        }
+        if event.args:
+            record["args"] = event.args
+        elif event.phase == "C":
+            record["args"] = {"value": 0}
+        trace_events.append(record)
+    out = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "emitted": tracer.emitted,
+            "dropped": tracer.dropped,
+        },
+    }
+    if registry is not None:
+        out["otherData"]["metrics"] = registry.snapshot()
+    return out
+
+
+def write_chrome_trace(path: str, tracer: Tracer,
+                       registry: Optional[MetricsRegistry] = None) -> str:
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(tracer, registry), handle)
+    return path
+
+
+def events_to_jsonl(tracer: Tracer) -> str:
+    """One compact JSON object per line, oldest event first."""
+    lines = []
+    for event in _sorted_events(tracer):
+        record = {
+            "ts": event.ts,
+            "cat": event.category,
+            "name": event.name,
+            "ph": event.phase,
+        }
+        if event.args:
+            record["args"] = event.args
+        lines.append(json.dumps(record, separators=(",", ":")))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(path: str, tracer: Tracer) -> str:
+    with open(path, "w") as handle:
+        handle.write(events_to_jsonl(tracer))
+    return path
+
+
+def write_metrics_json(path: str, registry: MetricsRegistry) -> str:
+    with open(path, "w") as handle:
+        json.dump(registry.snapshot(), handle, indent=2, sort_keys=True)
+    return path
+
+
+def write_metrics_prometheus(path: str, registry: MetricsRegistry) -> str:
+    with open(path, "w") as handle:
+        handle.write(registry.prometheus_text())
+    return path

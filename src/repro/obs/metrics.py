@@ -1,0 +1,239 @@
+"""Metric primitives and the hierarchical registry.
+
+Every component that wants to be measurable registers with one
+:class:`MetricsRegistry` under a dotted, hierarchical name
+(``lg.sender.<link>``, ``port.<switch:port>.queue.<name>`` …).  Three
+primitive types cover everything the paper's evaluation reads off the
+testbed:
+
+* :class:`Counter` — monotonically increasing event counts;
+* :class:`Gauge` — a level with a high-watermark (queue depth, heap size);
+* :class:`Histogram` — fixed-bucket distributions over integer
+  nanoseconds (retransmission delay, FCT, queue residence), cheap enough
+  to observe on the datapath.
+
+Components that already keep their own stats structs (``SenderStats``,
+``PortCounters``) register a *snapshot provider* instead — a callable
+returning a dict — so the registry reads the single source of truth and
+nothing is double-counted.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "DEFAULT_NS_BUCKETS",
+]
+
+#: Upper bucket bounds (inclusive, ns) covering 100 ns .. 1 s — wide
+#: enough for serialization times, sub-RTT recovery delays and FCTs.
+DEFAULT_NS_BUCKETS: Tuple[int, ...] = (
+    100, 250, 500,
+    1_000, 2_500, 5_000,
+    10_000, 25_000, 50_000,
+    100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000,
+    10_000_000, 100_000_000, 1_000_000_000,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A level that can move both ways; tracks its high watermark."""
+
+    __slots__ = ("name", "value", "high_watermark")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self.high_watermark = 0
+
+    def set(self, value) -> None:
+        self.value = value
+        if value > self.high_watermark:
+            self.high_watermark = value
+
+    def add(self, delta) -> None:
+        self.set(self.value + delta)
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "gauge",
+            "value": self.value,
+            "high_watermark": self.high_watermark,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram over non-negative integers (typically ns).
+
+    Bucket bounds are inclusive upper edges; one implicit overflow bucket
+    catches everything above the last bound.  ``observe`` is a bisect
+    plus two additions — cheap enough for per-packet datapath use.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum")
+
+    def __init__(self, name: str, bounds: Sequence[int] = DEFAULT_NS_BUCKETS) -> None:
+        if list(bounds) != sorted(bounds) or len(bounds) != len(set(bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.bounds: Tuple[int, ...] = tuple(int(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)  # + overflow
+        self.count = 0
+        self.sum = 0
+
+    def observe(self, value: int) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Upper bound of the bucket holding the q-th percentile.
+
+        Returns NaN when empty and +inf when the percentile falls in the
+        overflow bucket (the histogram cannot bound it).
+        """
+        if self.count == 0:
+            return float("nan")
+        threshold = q / 100.0 * self.count
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            if cumulative >= threshold:
+                return float(bound)
+        return float("inf")
+
+    def snapshot(self) -> dict:
+        cumulative, buckets = 0, {}
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            buckets[bound] = cumulative
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": buckets,       # cumulative, Prometheus-style
+            "overflow": self.counts[-1],
+        }
+
+
+class MetricsRegistry:
+    """Hierarchically named metrics plus external snapshot providers."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+        self._providers: Dict[str, Callable[[], dict]] = {}
+
+    # -- creation (get-or-create so shared names accumulate) -------------------
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, bounds: Sequence[int] = DEFAULT_NS_BUCKETS) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, bounds)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(f"{name!r} already registered as {type(metric).__name__}")
+        return metric
+
+    def _get_or_create(self, name, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(f"{name!r} already registered as {type(metric).__name__}")
+        return metric
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def register_provider(self, name: str, provider: Callable[[], dict]) -> None:
+        """Attach a live stats source (e.g. ``SenderStats.snapshot``).
+
+        Re-registering the same name replaces the provider — the newest
+        component instance owns the name.
+        """
+        self._providers[name] = provider
+
+    # -- output -----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Flat ``name -> snapshot dict`` of everything known right now."""
+        out = {name: metric.snapshot() for name, metric in self._metrics.items()}
+        for name, provider in self._providers.items():
+            out[name] = provider()
+        return out
+
+    def prometheus_text(self) -> str:
+        """Prometheus text-exposition dump of every numeric value."""
+        lines: List[str] = []
+        for name, metric in sorted(self._metrics.items()):
+            flat = _sanitize(name)
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {flat} counter")
+                lines.append(f"{flat} {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {flat} gauge")
+                lines.append(f"{flat} {metric.value}")
+                lines.append(f"{flat}_high_watermark {metric.high_watermark}")
+            elif isinstance(metric, Histogram):
+                lines.append(f"# TYPE {flat} histogram")
+                cumulative = 0
+                for bound, bucket_count in zip(metric.bounds, metric.counts):
+                    cumulative += bucket_count
+                    lines.append(f'{flat}_bucket{{le="{bound}"}} {cumulative}')
+                lines.append(f'{flat}_bucket{{le="+Inf"}} {metric.count}')
+                lines.append(f"{flat}_sum {metric.sum}")
+                lines.append(f"{flat}_count {metric.count}")
+        for name, provider in sorted(self._providers.items()):
+            for key, value in _flatten(provider(), _sanitize(name)):
+                lines.append(f"{key} {value}")
+        return "\n".join(lines) + "\n"
+
+
+def _sanitize(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    text = "".join(out)
+    return text if not text[:1].isdigit() else "_" + text
+
+
+def _flatten(tree: dict, prefix: str):
+    for key, value in tree.items():
+        flat = f"{prefix}_{_sanitize(str(key))}"
+        if isinstance(value, dict):
+            yield from _flatten(value, flat)
+        elif isinstance(value, bool):
+            yield flat, int(value)
+        elif isinstance(value, (int, float)):
+            yield flat, value

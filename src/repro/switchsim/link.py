@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..core.engine import Simulator
+from ..obs.trace import NULL_TRACER
 from ..packets.packet import Packet
 from ..phy.loss import LossProcess, NoLoss
 from .counters import PortCounters
@@ -29,6 +30,7 @@ class Link:
         receiver: Callable[[Packet], None],
         loss: Optional[LossProcess] = None,
         name: str = "",
+        obs=None,
     ) -> None:
         self.sim = sim
         self.propagation_ns = int(propagation_ns)
@@ -38,6 +40,17 @@ class Link:
         self.rx_counters = PortCounters()
         #: optional hook observing (packet, corrupted) for instrumentation
         self.tap: Optional[Callable[[Packet, bool], None]] = None
+        self._tracer = obs.tracer if obs is not None else NULL_TRACER
+        if obs is not None and name:
+            obs.registry.register_provider(f"link.{name}", self.obs_snapshot)
+
+    def obs_snapshot(self) -> dict:
+        snap = self.rx_counters.snapshot()
+        snap["corruption_drops"] = (
+            self.rx_counters.frames_rx_all - self.rx_counters.frames_rx_ok
+        )
+        snap["rx_loss_rate"] = self.rx_counters.rx_loss_rate
+        return snap
 
     def set_loss(self, loss: Optional[LossProcess]) -> None:
         """Swap the corruption process at runtime (VOA dial, link repair)."""
@@ -50,5 +63,10 @@ class Link:
             self.tap(packet, corrupted)
         self.rx_counters.record_rx(packet.size, ok=not corrupted)
         if corrupted:
+            if self._tracer.enabled:
+                self._tracer.instant(self.sim.now, "link", "corruption_drop", {
+                    "link": self.name, "size": packet.size,
+                    "seq": packet.lg.seqno if packet.lg is not None else None,
+                })
             return  # dropped by the receiving MAC
         self.sim.schedule(self.propagation_ns, self.receiver, packet)

@@ -40,6 +40,7 @@ class EgressPort:
         self.tx_counters = PortCounters()
         self._paused = [False] * len(self.queues)
         self._busy = False
+        self._residence_hist = None   # set by attach_obs
         #: hook called as on_transmit(packet, queue_index) when a frame's
         #: last bit leaves — LinkGuardian uses it for egress mirroring
         #: (Tx-buffer copies, self-replenishing ACK/dummy queues).
@@ -48,6 +49,29 @@ class EgressPort:
         #: frame is pulled for serialization — the egress-pipeline point
         #: where LinkGuardian stamps fresh ACK/dummy header values.
         self.on_dequeue: Optional[Callable[[Packet, int], None]] = None
+
+    # -- observability -------------------------------------------------------
+
+    def attach_obs(self, obs) -> None:
+        """Register this port's counters/queues with a metrics registry.
+
+        Also starts timing queue residence (enqueue -> dequeue) into a
+        per-port nanosecond histogram.  Without this call the datapath
+        carries no instrumentation cost at all.
+        """
+        prefix = f"port.{self.name or hex(id(self))}"
+        self._residence_hist = obs.registry.histogram(f"{prefix}.queue_residence_ns")
+        obs.registry.register_provider(prefix, self.snapshot)
+
+    def snapshot(self) -> dict:
+        return {
+            "tx": self.tx_counters.snapshot(),
+            "busy": self._busy,
+            "queues": {
+                queue.name or str(index): queue.snapshot()
+                for index, queue in enumerate(self.queues)
+            },
+        }
 
     # -- queue management ---------------------------------------------------
 
@@ -61,6 +85,8 @@ class EgressPort:
         """Push into a queue and kick the serializer.  False on tail drop."""
         accepted = self.queues[queue_index].push(packet)
         if accepted:
+            if self._residence_hist is not None:
+                packet.meta["_obs_enq_ns"] = self.sim.now
             self._kick()
         return accepted
 
@@ -99,6 +125,10 @@ class EgressPort:
             return
         self._busy = True
         packet = self.queues[index].pop()
+        if self._residence_hist is not None:
+            enqueued_at = packet.meta.pop("_obs_enq_ns", None)
+            if enqueued_at is not None:
+                self._residence_hist.observe(self.sim.now - enqueued_at)
         if self.on_dequeue is not None:
             self.on_dequeue(packet, index)
         self.tx_counters.record_tx(packet.size)

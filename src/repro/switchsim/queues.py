@@ -19,14 +19,20 @@ __all__ = ["Queue", "QueueStats"]
 class QueueStats:
     """Counters a queue keeps for the lifetime of a run."""
 
-    __slots__ = ("enqueued", "dropped", "dequeued", "ecn_marked", "max_bytes")
+    __slots__ = (
+        "enqueued", "dropped", "dequeued", "ecn_marked",
+        "max_bytes", "max_packets",
+    )
 
     def __init__(self) -> None:
         self.enqueued = 0
         self.dropped = 0
         self.dequeued = 0
         self.ecn_marked = 0
+        # Depth high watermarks, in both units: Figure 14's buffer-usage
+        # analysis needs bytes for sizing and packets for descriptor cost.
         self.max_bytes = 0
+        self.max_packets = 0
 
 
 class Queue:
@@ -82,16 +88,20 @@ class Queue:
         self._fifo.append(packet)
         self._bytes += packet.size
         self.stats.enqueued += 1
-        if self._bytes > self.stats.max_bytes:
-            self.stats.max_bytes = self._bytes
+        self._note_watermarks()
         return True
 
     def push_front(self, packet: Packet) -> None:
         """Requeue at the head (used for replenishing self-refilling queues)."""
         self._fifo.appendleft(packet)
         self._bytes += packet.size
+        self._note_watermarks()
+
+    def _note_watermarks(self) -> None:
         if self._bytes > self.stats.max_bytes:
             self.stats.max_bytes = self._bytes
+        if len(self._fifo) > self.stats.max_packets:
+            self.stats.max_packets = len(self._fifo)
 
     def pop(self) -> Optional[Packet]:
         if not self._fifo:
@@ -107,3 +117,21 @@ class Queue:
     def clear(self) -> None:
         self._fifo.clear()
         self._bytes = 0
+
+    @property
+    def depth_high_watermark(self) -> dict:
+        """Peak depth seen so far, in both accounting units."""
+        return {"bytes": self.stats.max_bytes, "packets": self.stats.max_packets}
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "depth_bytes": self._bytes,
+            "depth_packets": len(self._fifo),
+            "enqueued": self.stats.enqueued,
+            "dequeued": self.stats.dequeued,
+            "dropped": self.stats.dropped,
+            "ecn_marked": self.stats.ecn_marked,
+            "depth_high_watermark_bytes": self.stats.max_bytes,
+            "depth_high_watermark_packets": self.stats.max_packets,
+        }

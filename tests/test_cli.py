@@ -39,3 +39,61 @@ class TestCli:
         for name, (func, description) in COMMANDS.items():
             assert callable(func)
             assert description
+
+
+class TestCliObservability:
+    def test_tab01_json_output_parses(self, capsys):
+        import json
+
+        assert main(["tab01", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert isinstance(rows, list) and rows
+        assert "published_%" in rows[0]
+
+    def test_fig20_json_output_parses(self, capsys):
+        import json
+
+        assert main(["fig20", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows and "loss" in rows[0]
+
+    def test_metrics_command_prints_retx_histogram(self, capsys):
+        assert main(["metrics", "--duration-ms", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "retx_delay_ns" in out
+        assert "le_us" in out
+        assert "p99" in out
+
+    def test_trace_and_metrics_out(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(["fig09", "--duration-ms", "1",
+                     "--trace-out", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        doc = json.loads(trace.read_text())
+        ts = [e["ts"] for e in doc["traceEvents"]]
+        assert ts and ts == sorted(ts)
+        snap = json.loads(metrics.read_text())
+        assert "engine" in snap
+        capsys.readouterr()
+
+    def test_trace_out_jsonl_format(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["fig09", "--duration-ms", "1",
+                     "--trace-out", str(trace)]) == 0
+        lines = trace.read_text().splitlines()
+        assert lines
+        assert all("ts" in json.loads(line) for line in lines)
+        capsys.readouterr()
+
+    def test_metrics_out_prometheus_format(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        assert main(["fig09", "--duration-ms", "1",
+                     "--metrics-out", str(metrics)]) == 0
+        text = metrics.read_text()
+        assert "# TYPE" in text
+        capsys.readouterr()
