@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 import os
 import sys
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 

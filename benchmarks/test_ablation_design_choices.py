@@ -11,8 +11,6 @@ Not a paper table, but the experiments the paper's design sections imply:
   fully-deployed number.
 """
 
-import numpy as np
-
 from _report import emit, header, save_json, table
 
 from repro.experiments.incremental import run_incremental_deployment

@@ -7,7 +7,7 @@ a single packet, which is why tail-loss handling matters so much.
 from _report import emit, header, save_json, table
 
 from repro.experiments.figures import figure2_flow_size_cdfs
-from repro.workloads import GOOGLE_ALL_RPC, META_KEY_VALUE, WORKLOADS
+from repro.workloads import WORKLOADS
 
 
 def _run():

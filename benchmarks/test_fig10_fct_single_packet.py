@@ -9,48 +9,56 @@ for single-packet flows).
 Scale note: the paper runs 300K trials at 1e-3; the bench runs fewer
 trials at an inflated 5e-3 so that the same number of loss events lands
 in the tail (see EXPERIMENTS.md).
+
+The grid runs through the declarative runner layer: one SweepSpec over
+transports x scenarios, executed by SweepRunner.
 """
 
 from _report import emit, header, save_json, table
 
-from repro.experiments.fct import run_fct_experiment
+from repro.runner import ExperimentSpec, SweepRunner, SweepSpec
 
 TRIALS = 3_000
 LOSS = 5e-3
 
+SWEEP = SweepSpec(
+    name="fig10",
+    base=ExperimentSpec(kind="fct", flow_size=143, n_trials=TRIALS,
+                        loss_rate=LOSS, seed=10),
+    axes={"transport": ["dctcp", "rdma"],
+          "scenario": ["noloss", "loss", "lg", "lgnb"]},
+)
+
 
 def _run():
-    results = {}
-    for transport in ("dctcp", "rdma"):
-        for scenario in ("noloss", "loss", "lg", "lgnb"):
-            results[(transport, scenario)] = run_fct_experiment(
-                transport=transport, flow_size=143, n_trials=TRIALS,
-                scenario=scenario, loss_rate=LOSS, seed=10,
-            )
-    return results
+    results = SweepRunner(SWEEP).run()
+    return {(r.spec["transport"], r.spec["scenario"]): r for r in results}
 
 
 def test_fig10_single_packet_fct(benchmark):
     results = benchmark.pedantic(_run, rounds=1, iterations=1)
     header(f"Figure 10 — 143 B flows on 100G ({TRIALS} trials, loss {LOSS:g})")
-    table([r.summary() for r in results.values()])
+    table([r.metrics for r in results.values()])
     save_json("fig10_fct_single_packet", {
-        f"{t}-{s}": r.summary() for (t, s), r in results.items()
+        f"{t}-{s}": r.metrics for (t, s), r in results.items()
     })
 
+    def pct999(transport, scenario):
+        return results[(transport, scenario)].metrics["p99.9_us"]
+
     for transport, paper_gain in (("dctcp", 51), ("rdma", 66)):
-        loss = results[(transport, "loss")]
-        lg = results[(transport, "lg")]
-        nb = results[(transport, "lgnb")]
-        clean = results[(transport, "noloss")]
-        gain = loss.pct(99.9) / lg.pct(99.9)
+        loss = pct999(transport, "loss")
+        lg = pct999(transport, "lg")
+        nb = pct999(transport, "lgnb")
+        clean = pct999(transport, "noloss")
+        gain = loss / lg
         emit(f"{transport}: p99.9 improvement {gain:.0f}x (paper: {paper_gain}x); "
-             f"LG vs no-loss at p99.9: {lg.pct(99.9) / clean.pct(99.9):.2f}x")
+             f"LG vs no-loss at p99.9: {lg / clean:.2f}x")
         # The unprotected tail is RTO-bound (>= 1 ms).
-        assert loss.pct(99.9) > 1_000
+        assert loss > 1_000
         # LG masks it: within 2x of the lossless p99.9.
-        assert lg.pct(99.9) < 2 * clean.pct(99.9)
+        assert lg < 2 * clean
         # Order-of-magnitude improvement (paper: 51x/66x).
         assert gain > 10
         # Single-packet flows: LG and LG_NB are indistinguishable.
-        assert abs(nb.pct(99.9) - lg.pct(99.9)) < 0.2 * lg.pct(99.9)
+        assert abs(nb - lg) < 0.2 * lg

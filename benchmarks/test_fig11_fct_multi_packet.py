@@ -4,55 +4,61 @@ Paper claims: LinkGuardian tracks the no-loss curve for DCTCP, BBR and
 RDMA.  LinkGuardianNB performs nearly as well for the TCPs (reordering
 is tolerated) but for RDMA it only removes the RTO tail — go-back-N has
 no reordering window, so out-of-order recovery still costs a go-back.
+
+The grid runs through the declarative runner layer (SweepSpec over
+transports x scenarios).
 """
 
 from _report import emit, header, save_json, table
 
-from repro.experiments.fct import run_fct_experiment
+from repro.runner import ExperimentSpec, SweepRunner, SweepSpec
 
 TRIALS = 900
 LOSS = 5e-3
 SIZE = 24_387
 
+SWEEP = SweepSpec(
+    name="fig11",
+    base=ExperimentSpec(kind="fct", flow_size=SIZE, n_trials=TRIALS,
+                        loss_rate=LOSS, seed=12),
+    axes={"transport": ["dctcp", "bbr", "rdma"],
+          "scenario": ["noloss", "loss", "lg", "lgnb"]},
+)
+
 
 def _run():
-    results = {}
-    for transport in ("dctcp", "bbr", "rdma"):
-        for scenario in ("noloss", "loss", "lg", "lgnb"):
-            results[(transport, scenario)] = run_fct_experiment(
-                transport=transport, flow_size=SIZE, n_trials=TRIALS,
-                scenario=scenario, loss_rate=LOSS, seed=12,
-            )
-    return results
+    results = SweepRunner(SWEEP).run()
+    return {(r.spec["transport"], r.spec["scenario"]): r for r in results}
 
 
 def test_fig11_multi_packet_fct(benchmark):
     results = benchmark.pedantic(_run, rounds=1, iterations=1)
     header(f"Figure 11 — {SIZE} B flows on 100G ({TRIALS} trials, loss {LOSS:g})")
-    table([r.summary() for r in results.values()])
+    table([r.metrics for r in results.values()])
     save_json("fig11_fct_multi_packet", {
-        f"{t}-{s}": r.summary() for (t, s), r in results.items()
+        f"{t}-{s}": r.metrics for (t, s), r in results.items()
     })
 
+    def pct(transport, scenario, q):
+        return results[(transport, scenario)].metrics[f"p{q}_us"]
+
     for transport in ("dctcp", "bbr", "rdma"):
-        clean = results[(transport, "noloss")]
-        loss = results[(transport, "loss")]
-        lg = results[(transport, "lg")]
-        nb = results[(transport, "lgnb")]
-        emit(f"{transport}: p99.9 loss/lg = {loss.pct(99.9) / lg.pct(99.9):.1f}x, "
-             f"lgnb/lg = {nb.pct(99.9) / lg.pct(99.9):.2f}x")
+        clean99 = pct(transport, "noloss", 99)
+        loss999 = pct(transport, "loss", "99.9")
+        lg99, lg999 = pct(transport, "lg", 99), pct(transport, "lg", "99.9")
+        nb999 = pct(transport, "lgnb", "99.9")
+        emit(f"{transport}: p99.9 loss/lg = {loss999 / lg999:.1f}x, "
+             f"lgnb/lg = {nb999 / lg999:.2f}x")
         # Ordered LG hugs the no-loss curve at the 99th percentile.
-        assert lg.pct(99) < 1.5 * clean.pct(99)
+        assert lg99 < 1.5 * clean99
         # The unprotected tail is far worse than LG's.
-        assert loss.pct(99.9) > 3 * lg.pct(99.9)
+        assert loss999 > 3 * lg999
         # NB also removes the RTO tail (no >=1ms FCTs from tail loss).
-        assert nb.pct(99.9) < loss.pct(99.9)
+        assert nb999 < loss999
 
     # RDMA pays for reordering under NB: the NB p99 exceeds ordered-LG's
     # p99 by more than for the TCPs (go-back-N, Figure 11c).
-    rdma_penalty = (results[("rdma", "lgnb")].pct(99)
-                    / results[("rdma", "lg")].pct(99))
-    dctcp_penalty = (results[("dctcp", "lgnb")].pct(99)
-                     / results[("dctcp", "lg")].pct(99))
+    rdma_penalty = pct("rdma", "lgnb", 99) / pct("rdma", "lg", 99)
+    dctcp_penalty = pct("dctcp", "lgnb", 99) / pct("dctcp", "lg", 99)
     emit(f"NB-vs-LG p99 penalty: rdma {rdma_penalty:.2f}x, dctcp {dctcp_penalty:.2f}x")
     assert rdma_penalty >= dctcp_penalty - 0.05

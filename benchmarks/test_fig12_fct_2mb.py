@@ -5,44 +5,48 @@ loss at 1e-3, ordered LinkGuardian still tracks the no-loss curve (4x
 better p99.9 than unprotected); LinkGuardianNB is slightly worse in the
 extreme tail (2x) because larger flows have more pending bytes when a
 reordering-induced cwnd cut lands.
+
+The scenario grid runs through the declarative runner layer.
 """
 
 from _report import emit, header, save_json, table
 
-from repro.experiments.fct import run_fct_experiment
+from repro.runner import ExperimentSpec, SweepRunner, SweepSpec
 
 TRIALS = 120
 LOSS = 1e-3
 SIZE = 2_000_000
 
+SWEEP = SweepSpec(
+    name="fig12",
+    base=ExperimentSpec(kind="fct", flow_size=SIZE, n_trials=TRIALS,
+                        loss_rate=LOSS, seed=13),
+    axes={"scenario": ["noloss", "loss", "lg", "lgnb"]},
+)
+
 
 def _run():
-    results = {}
-    for scenario in ("noloss", "loss", "lg", "lgnb"):
-        results[scenario] = run_fct_experiment(
-            transport="dctcp", flow_size=SIZE, n_trials=TRIALS,
-            scenario=scenario, loss_rate=LOSS, seed=13,
-        )
-    return results
+    results = SweepRunner(SWEEP).run()
+    return {r.spec["scenario"]: r for r in results}
 
 
 def test_fig12_2mb_fct(benchmark):
     results = benchmark.pedantic(_run, rounds=1, iterations=1)
     header(f"Figure 12 — 2 MB DCTCP flows on 100G ({TRIALS} trials, loss {LOSS:g})")
-    table([r.summary() for r in results.values()])
-    save_json("fig12_fct_2mb", {s: r.summary() for s, r in results.items()})
+    table([r.metrics for r in results.values()])
+    save_json("fig12_fct_2mb", {s: r.metrics for s, r in results.items()})
 
-    affected = sum(
-        1 for r in results["loss"].records if r.retransmissions or r.timeouts
-    )
+    affected = results["loss"].metrics["affected"]
     emit(f"flows affected by corruption (unprotected): "
          f"{affected}/{TRIALS} = {affected / TRIALS:.0%} (paper: ~80%)")
     # Most 2 MB flows hit at least one loss at 1e-3 (1370 packets each).
     assert affected / TRIALS > 0.5
-    clean, loss = results["noloss"], results["loss"]
-    lg, nb = results["lg"], results["lgnb"]
+
+    def pct99(scenario):
+        return results[scenario].metrics["p99_us"]
+
     # LG tracks the no-loss distribution through the tail.
-    assert lg.pct(99) < 1.3 * clean.pct(99)
+    assert pct99("lg") < 1.3 * pct99("noloss")
     # The unprotected flows are worse than both LG modes in the tail.
-    assert loss.pct(99) >= lg.pct(99)
-    assert loss.pct(99) >= nb.pct(99) * 0.95
+    assert pct99("loss") >= pct99("lg")
+    assert pct99("loss") >= pct99("lgnb") * 0.95

@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import json
 import os
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 __all__ = ["export_results", "write_dat", "write_csv"]
 

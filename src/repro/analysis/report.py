@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Iterable, List, Sequence
 
-__all__ = ["format_value", "render_table", "histogram_rows"]
+__all__ = ["format_value", "render_table", "histogram_rows", "cell_rows"]
 
 
 def format_value(value) -> str:
@@ -37,6 +37,26 @@ def render_table(rows: Sequence[dict], columns: Sequence[str] = None) -> str:
     for line in formatted:
         lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
     return "\n".join(lines)
+
+
+def cell_rows(results: Iterable) -> List[dict]:
+    """Table rows from runner :class:`~repro.runner.harness.CellResult`s.
+
+    Accepts result objects or their dict form (a parsed checkpoint line);
+    rows carry the scalar metrics prefixed by the cell id, ready for
+    :func:`render_table`.
+    """
+    rows = []
+    for result in results:
+        if hasattr(result, "row"):
+            rows.append(result.row())
+        else:
+            metrics = result.get("metrics", {})
+            rows.append({"cell": result.get("cell_id", "?"), **{
+                k: v for k, v in metrics.items()
+                if isinstance(v, (int, float, str, bool))
+            }})
+    return rows
 
 
 def histogram_rows(snapshot: dict, unit_divisor: float = 1.0,

@@ -342,6 +342,63 @@ def cmd_incremental(args) -> None:
         duration_days=args.days, seed=args.seed))
 
 
+def _coerce_axis_value(text: str):
+    """Best-effort typing for --axis values: int, float, bool, else str."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_axis(text: str):
+    """Parse one ``--axis field=v1,v2,...`` argument."""
+    if "=" not in text:
+        raise ValueError(f"--axis must look like field=v1,v2 (got {text!r})")
+    name, _, values = text.partition("=")
+    parsed = [_coerce_axis_value(v) for v in values.split(",") if v != ""]
+    if not parsed:
+        raise ValueError(f"--axis {name}: no values given")
+    return name.strip(), parsed
+
+
+def cmd_sweep(args) -> None:
+    """Declarative sweep over experiment cells (the runner layer)."""
+    from .analysis.report import cell_rows
+    from .runner import ExperimentSpec, SweepRunner, SweepSpec, experiment_kinds
+
+    if args.kind not in experiment_kinds():
+        raise SystemExit(
+            f"unknown --kind {args.kind!r}; known: {', '.join(experiment_kinds())}"
+        )
+    base = ExperimentSpec(
+        kind=args.kind,
+        n_trials=args.trials,
+        loss_rate=args.loss_rate,
+        seed=args.seed,
+    )
+    axes = dict(parse_axis(text) for text in (args.axis or []))
+    sweep = SweepSpec(
+        name=args.kind, base=base, axes=axes,
+        seed=args.sweep_seed,
+    )
+    n_cells = len(sweep.cells())
+
+    def progress(result) -> None:
+        if not _JSON_MODE:
+            _print(f"[{result.cell_id}] done in {result.wall_s:.2f}s")
+
+    runner = SweepRunner(sweep, workers=args.workers, checkpoint=args.checkpoint)
+    results = runner.run(progress=progress)
+    if not _JSON_MODE and runner.resumed:
+        _print(f"resumed {runner.resumed}/{n_cells} cells from {args.checkpoint}")
+    _emit(cell_rows(results))
+
+
 def cmd_metrics(args) -> None:
     """Instrumented fig09-style run + registry summary (the obs showcase)."""
     from .analysis.report import histogram_rows
@@ -413,6 +470,7 @@ COMMANDS = {
     "incremental": (cmd_incremental, "partial-deployment sweep (§5)"),
     "export": (cmd_export, "convert benchmarks/results JSON to .dat/.csv"),
     "metrics": (cmd_metrics, "instrumented run + metrics-registry summary"),
+    "sweep": (cmd_sweep, "declarative cell sweep (parallel, resumable)"),
 }
 
 
@@ -446,6 +504,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="write the metrics registry (JSON, or "
                              "Prometheus text with a .prom extension)")
+    parser.add_argument("--kind", default="fct",
+                        help="sweep: experiment kind of the base spec")
+    parser.add_argument("--axis", action="append", metavar="FIELD=V1,V2",
+                        help="sweep: one axis of the grid (repeatable); "
+                             "FIELD is a spec field or params.X / lg.X")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="sweep: worker processes (results are "
+                             "bit-identical to --workers 1)")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="sweep: JSONL checkpoint; completed cells are "
+                             "appended as they finish and skipped on rerun")
+    parser.add_argument("--sweep-seed", type=int, default=None,
+                        help="sweep: derive a deterministic per-cell seed "
+                             "from this root (default: every cell keeps "
+                             "--seed, as in the paper's figures)")
     parser.add_argument("--resume-kb", type=float, default=2.0,
                         help="fig09 backpressure resume threshold in KB, "
                              "scaled down like the phase durations so "

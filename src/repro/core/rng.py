@@ -20,8 +20,20 @@ class RngFactory:
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
 
+    def child_seed(self, name: str) -> int:
+        """An integer seed unique to ``(seed, name)`` and stable across runs.
+
+        The same derivation backs :meth:`stream`; exposing the integer lets
+        callers that need a plain seed (experiment cells dispatched to worker
+        processes, nested factories) share the one naming scheme.
+        """
+        digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+        return int.from_bytes(digest[:8], "little")
+
     def stream(self, name: str) -> np.random.Generator:
         """Return a generator unique to ``(seed, name)`` and stable across runs."""
-        digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
-        child_seed = int.from_bytes(digest[:8], "little")
-        return np.random.default_rng(child_seed)
+        return np.random.default_rng(self.child_seed(name))
+
+    def spawn(self, name: str) -> "RngFactory":
+        """A child factory whose streams are independent of the parent's."""
+        return RngFactory(self.child_seed(name))

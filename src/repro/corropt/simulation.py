@@ -215,7 +215,7 @@ class DeploymentSimulation:
         (highest penalty first) that the constraint now allows."""
         candidates = sorted(
             (self.topology.link(link_id) for link_id in self._corrupting_up),
-            key=lambda l: self._penalty_of(l),
+            key=self._penalty_of,
             reverse=True,
         )
         for link in candidates:
@@ -287,8 +287,8 @@ class DeploymentSimulation:
                 max_lg = max(max_lg, len(lg_links))
                 if lg_links:
                     per_pod = {}
-                    for l in lg_links:
-                        per_pod[l.pod] = per_pod.get(l.pod, 0) + 1
+                    for lg_link in lg_links:
+                        per_pod[lg_link.pod] = per_pod.get(lg_link.pod, 0) + 1
                     max_lg_pod = max(max_lg_pod, max(per_pod.values()))
         while next_sample <= config.duration_s:
             take_sample(next_sample)

@@ -1,4 +1,10 @@
-"""Experiment harness: one module per paper table/figure plus the testbed."""
+"""Experiment harness: one module per paper table/figure plus the testbed.
+
+Every experiment here is also registered as a runner *kind* (see
+``repro.runner.cells``), so each can run either directly through its
+``run_*`` function or declaratively as an
+:class:`~repro.runner.spec.ExperimentSpec` cell inside a sweep.
+"""
 
 from .deployment import DeploymentComparison, run_deployment_comparison
 from .fct import SCENARIOS, FctResult, run_fct_experiment
@@ -7,7 +13,10 @@ from .figures import (
     figure20_consecutive_losses, table1_loss_buckets,
 )
 from .goodput import GOODPUT_SCHEMES, run_goodput
-from .mechanisms import MECHANISM_VARIANTS, run_mechanism_study
+from .incremental import run_incremental_deployment
+from .mechanisms import MECHANISM_VARIANTS, mechanism_spec, run_mechanism_study
+from .multihop import Chain, build_chain, run_multihop_fct
+from .rdma_future import RDMA_CASES, run_rdma_case, run_rdma_reordering_study
 from .stress import StressResult, run_stress_test
 from .testbed import Testbed, build_testbed
 from .timeline import TimelineResult, run_timeline
@@ -18,7 +27,10 @@ __all__ = [
     "figure1_attenuation_series", "figure2_flow_size_cdfs",
     "figure20_consecutive_losses", "table1_loss_buckets",
     "GOODPUT_SCHEMES", "run_goodput",
-    "MECHANISM_VARIANTS", "run_mechanism_study",
+    "run_incremental_deployment",
+    "MECHANISM_VARIANTS", "mechanism_spec", "run_mechanism_study",
+    "Chain", "build_chain", "run_multihop_fct",
+    "RDMA_CASES", "run_rdma_case", "run_rdma_reordering_study",
     "StressResult", "run_stress_test",
     "Testbed", "build_testbed",
     "TimelineResult", "run_timeline",

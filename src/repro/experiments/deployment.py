@@ -23,6 +23,7 @@ from typing import Dict
 
 import numpy as np
 
+from ..core.rng import RngFactory
 from ..corropt.simulation import DeploymentConfig, DeploymentResult, DeploymentSimulation
 from ..fabric.topology import FabricTopology
 
@@ -103,7 +104,9 @@ def run_deployment_comparison(
             sample_interval_s=sample_interval_hours * 3_600.0,
             mttf_hours=mttf_hours,
         )
-        rng = np.random.default_rng(seed)
+        # Both policies draw from a fresh copy of the same named stream —
+        # identical corruption trace, per the §4.8 methodology.
+        rng = RngFactory(seed).stream("deployment-trace")
         results[use_lg] = DeploymentSimulation(topology, config, rng).run()
     return DeploymentComparison(
         capacity_constraint=capacity_constraint,

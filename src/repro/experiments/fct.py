@@ -28,6 +28,7 @@ import numpy as np
 from ..analysis.classify import FlowClassification, classify_flows
 from ..analysis.stats import percentile
 from ..linkguardian.config import LinkGuardianConfig
+from ..runner.harness import TrialHarness
 from ..transport.congestion import BbrCC, CubicCC, DctcpCC
 from ..transport.flow import FlowRecord
 from ..transport.rdma import RdmaRequester, RdmaResponder
@@ -127,22 +128,8 @@ def run_fct_experiment(
 
     testbed.plink.forward_link.tap = tap
 
-    records: List[FlowRecord] = []
-    state = {"incomplete": 0, "watchdog": None, "done": False}
-
-    def launch(trial: int) -> None:
-        if trial >= n_trials:
-            state["done"] = True
-            return
+    def launch_trial(trial: int, finished) -> tuple:
         flow_id = trial + 1
-
-        def finished(record: FlowRecord) -> None:
-            if state["watchdog"] is not None:
-                state["watchdog"].cancel()
-                state["watchdog"] = None
-            records.append(record)
-            testbed.sim.schedule(inter_trial_gap_ns, launch, trial + 1)
-
         if transport == "rdma":
             sender = RdmaRequester(
                 testbed.sim, src, "h8", flow_id, flow_size, on_complete=finished
@@ -156,28 +143,19 @@ def run_fct_experiment(
             )
             TcpReceiver(testbed.sim, dst, "h4", flow_id)
 
-        def give_up() -> None:
-            # A pathologically stuck trial (chained RTO backoff) is
-            # recorded as incomplete rather than wedging the experiment.
-            state["watchdog"] = None
-            state["incomplete"] += 1
+        def abort() -> None:
             src.unregister_handler(flow_id)
             dst.unregister_handler(flow_id)
-            testbed.sim.schedule(inter_trial_gap_ns, launch, trial + 1)
 
-        state["watchdog"] = testbed.sim.schedule(trial_deadline_ns, give_up)
-        sender.start()
+        return sender.start, abort
 
-    testbed.sim.schedule(0, launch, 0)
-    # Run until the last trial finishes.  A plain run(until=...) would
-    # keep simulating LinkGuardian's self-replenishing queues long after
-    # the trials are done, so step the loop with an explicit stop flag.
-    safety_ns = n_trials * (trial_deadline_ns + inter_trial_gap_ns) + 500 * MS
-    while not state["done"] and testbed.sim.peek() is not None:
-        if testbed.sim.now > safety_ns:
-            break
-        testbed.sim.step()
-
+    harness = TrialHarness(
+        testbed.sim, n_trials, launch_trial,
+        inter_trial_gap_ns=inter_trial_gap_ns,
+        trial_deadline_ns=trial_deadline_ns,
+        safety_ns=n_trials * (trial_deadline_ns + inter_trial_gap_ns) + 500 * MS,
+    )
+    records = harness.run()
     fcts_us = np.array([r.fct_ns / 1e3 for r in records if r.completed])
     mss = DEFAULT_MSS
     tail_ids = {
@@ -192,5 +170,5 @@ def run_fct_experiment(
         fcts_us=fcts_us,
         records=records,
         tail_loss_flow_ids=tail_ids,
-        incomplete=state["incomplete"],
+        incomplete=harness.incomplete,
     )

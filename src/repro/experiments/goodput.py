@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from ..runner.harness import run_until_complete
 from ..transport.congestion import CubicCC
 from ..transport.tcp import TcpReceiver, TcpSender
 from ..units import MS, SEC
@@ -66,14 +67,7 @@ def run_goodput(
     )
     TcpReceiver(testbed.sim, dst, "h4", 1)
     testbed.sim.schedule(0, sender.start)
-    state = {"stop": False}
-
-    def watchdog():
-        state["stop"] = True
-
-    testbed.sim.schedule(int(deadline_ms * MS), watchdog)
-    while not done and not state["stop"] and testbed.sim.peek() is not None:
-        testbed.sim.step()
+    run_until_complete(testbed.sim, lambda: bool(done), int(deadline_ms * MS))
 
     acked = sender.snd_una
     elapsed = max(1, testbed.sim.now - (sender.flow.start_ns or 0))

@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from ..core.rng import RngFactory
 from ..corropt.simulation import DeploymentConfig, DeploymentSimulation
 from ..fabric.topology import FabricTopology
 
@@ -43,7 +44,9 @@ def run_incremental_deployment(
             sample_interval_s=3_600.0,
             mttf_hours=mttf_hours,
         )
-        rng = np.random.default_rng(seed)
+        # A fresh named stream per fraction: every deployment fraction sees
+        # the identical failure trace, so rows differ only by policy.
+        rng = RngFactory(seed).stream("incremental-trace")
         result = DeploymentSimulation(topology, config, rng).run()
         rows.append({
             "fraction": fraction,

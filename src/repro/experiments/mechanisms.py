@@ -19,10 +19,9 @@ from typing import Dict
 import numpy as np
 
 from ..analysis.stats import tail_percentiles
-from ..linkguardian.config import LinkGuardianConfig
-from .fct import FctResult, run_fct_experiment
+from ..runner import ExperimentSpec, run_cell
 
-__all__ = ["MECHANISM_VARIANTS", "run_mechanism_study"]
+__all__ = ["MECHANISM_VARIANTS", "mechanism_spec", "run_mechanism_study"]
 
 #: variant name -> (ordered, tail_loss_detection); None = baseline scenario
 MECHANISM_VARIANTS = {
@@ -35,6 +34,37 @@ MECHANISM_VARIANTS = {
 }
 
 
+def mechanism_spec(
+    variant: str,
+    transport: str = "dctcp",
+    flow_size: int = 24_387,
+    n_trials: int = 1_000,
+    rate_gbps: float = 100,
+    loss_rate: float = 1e-3,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """The FCT-experiment cell for one Table 2 variant."""
+    toggles = MECHANISM_VARIANTS[variant]
+    if toggles is None:
+        scenario = "noloss" if variant == "No Loss" else "loss"
+        lg = {}
+    else:
+        ordered, tail = toggles
+        scenario = "lg" if ordered else "lgnb"
+        lg = {"ordered": ordered, "tail_loss_detection": tail}
+    return ExperimentSpec(
+        kind="fct",
+        transport=transport,
+        scenario=scenario,
+        loss_rate=loss_rate,
+        flow_size=flow_size,
+        n_trials=n_trials,
+        rate_gbps=rate_gbps,
+        seed=seed,
+        lg=lg,
+    )
+
+
 def run_mechanism_study(
     transport: str = "dctcp",
     flow_size: int = 24_387,
@@ -45,28 +75,15 @@ def run_mechanism_study(
 ) -> Dict[str, dict]:
     """Return {variant: {p50, p99, p99.9, ...}} as in Table 2."""
     results: Dict[str, dict] = {}
-    for variant, toggles in MECHANISM_VARIANTS.items():
-        if toggles is None:
-            scenario = "noloss" if variant == "No Loss" else "loss"
-            lg_config = None
-        else:
-            ordered, tail = toggles
-            scenario = "lg" if ordered else "lgnb"
-            lg_config = LinkGuardianConfig.for_link_speed(
-                rate_gbps, ordered=ordered, tail_loss_detection=tail
-            )
-        outcome: FctResult = run_fct_experiment(
-            transport=transport,
-            flow_size=flow_size,
-            n_trials=n_trials,
-            scenario=scenario,
-            rate_gbps=rate_gbps,
-            loss_rate=loss_rate,
+    for variant in MECHANISM_VARIANTS:
+        spec = mechanism_spec(
+            variant, transport=transport, flow_size=flow_size,
+            n_trials=n_trials, rate_gbps=rate_gbps, loss_rate=loss_rate,
             seed=seed,
-            lg_config=lg_config,
         )
-        row = tail_percentiles(outcome.fcts_us)
-        row["std"] = float(np.std(outcome.fcts_us)) if len(outcome.fcts_us) else 0.0
-        row["trials"] = len(outcome.fcts_us)
+        fcts = np.asarray(run_cell(spec).series["fcts_us"])
+        row = tail_percentiles(fcts)
+        row["std"] = float(np.std(fcts)) if len(fcts) else 0.0
+        row["trials"] = len(fcts)
         results[variant] = row
     return results

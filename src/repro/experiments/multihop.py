@@ -24,6 +24,7 @@ from ..hosts.host import Host
 from ..linkguardian.config import LinkGuardianConfig
 from ..linkguardian.protocol import ProtectedLink
 from ..phy.loss import BernoulliLoss
+from ..runner.harness import TrialHarness
 from ..switchsim.switch import Switch
 from ..transport.congestion import DctcpCC
 from ..transport.rdma import RdmaRequester, RdmaResponder
@@ -122,19 +123,9 @@ def run_multihop_fct(
         seed=seed,
     )
     sim = chain.sim
-    records = []
-    state = {"done": False}
 
-    def launch(trial: int) -> None:
-        if trial >= n_trials:
-            state["done"] = True
-            return
+    def launch_trial(trial: int, finished) -> tuple:
         flow_id = trial + 1
-
-        def finished(record):
-            records.append(record)
-            sim.schedule(20_000, launch, trial + 1)
-
         if transport == "rdma":
             sender = RdmaRequester(sim, chain.src_host, "hdst", flow_id,
                                    flow_size, on_complete=finished)
@@ -143,13 +134,12 @@ def run_multihop_fct(
             sender = TcpSender(sim, chain.src_host, "hdst", flow_id, flow_size,
                                cc=DctcpCC(), on_complete=finished)
             TcpReceiver(sim, chain.dst_host, "hsrc", flow_id)
-        sender.start()
+        return sender.start, None
 
-    sim.schedule(0, launch, 0)
-    safety = n_trials * 50 * MS
-    while not state["done"] and sim.peek() is not None and sim.now < safety:
-        sim.step()
-
+    harness = TrialHarness(sim, n_trials, launch_trial,
+                           inter_trial_gap_ns=20_000,
+                           safety_ns=n_trials * 50 * MS)
+    records = harness.run()
     fcts = np.array([r.fct_ns / 1e3 for r in records if r.completed])
     affected = sum(1 for r in records if r.retransmissions or r.timeouts)
     return {

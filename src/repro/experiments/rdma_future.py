@@ -20,11 +20,73 @@ from typing import Dict
 
 import numpy as np
 
+from ..runner.harness import TrialHarness
 from ..transport.rdma import RdmaRequester, RdmaResponder
 from ..units import MS
 from .testbed import build_testbed
 
-__all__ = ["run_rdma_reordering_study"]
+__all__ = ["RDMA_CASES", "run_rdma_case", "run_rdma_reordering_study"]
+
+#: case label -> (ordered LinkGuardian, selective-repeat responder)
+RDMA_CASES = {
+    "lgnb+gbn": (False, False),
+    "lgnb+sr": (False, True),
+    "lg+gbn": (True, False),
+}
+
+
+def run_rdma_case(
+    case: str = "lgnb+sr",
+    flow_size: int = 24_387,
+    n_trials: int = 400,
+    loss_rate: float = 5e-3,
+    rate_gbps: float = 100,
+    seed: int = 1,
+) -> dict:
+    """FCT percentiles for one responder/ordering combination."""
+    if case not in RDMA_CASES:
+        raise ValueError(f"unknown RDMA case {case!r}; known: {sorted(RDMA_CASES)}")
+    ordered, selective_repeat = RDMA_CASES[case]
+    testbed = build_testbed(
+        rate_gbps=rate_gbps, loss_rate=loss_rate, ordered=ordered,
+        lg_active=True, seed=seed,
+    )
+    src = testbed.add_host("h4", "tx", stack_delay_ns=1_000)
+    dst = testbed.add_host("h8", "rx", stack_delay_ns=1_000)
+    naks = {"count": 0}
+
+    def launch_trial(trial, finished):
+        flow_id = trial + 1
+        requester = RdmaRequester(testbed.sim, src, "h8", flow_id,
+                                  flow_size, on_complete=finished,
+                                  selective_repeat=selective_repeat)
+        responder = RdmaResponder(testbed.sim, dst, "h4", flow_id,
+                                  selective_repeat=selective_repeat)
+
+        original = requester._complete
+
+        def complete_and_track():
+            naks["count"] += responder.naks_sent
+            original()
+
+        requester._complete = complete_and_track
+        return requester.start, None
+
+    harness = TrialHarness(testbed.sim, n_trials, launch_trial,
+                           inter_trial_gap_ns=20_000,
+                           safety_ns=n_trials * 20 * MS)
+    records = harness.run()
+    fcts = np.array([r.fct_ns / 1e3 for r in records if r.completed])
+    return {
+        "case": case,
+        "trials": len(records),
+        "p50_us": float(np.percentile(fcts, 50)),
+        "p99_us": float(np.percentile(fcts, 99)),
+        "p99.9_us": float(np.percentile(fcts, 99.9)),
+        "naks": naks["count"],
+        "timeouts": sum(r.timeouts for r in records),
+        "e2e_retx": sum(r.retransmissions for r in records),
+    }
 
 
 def run_rdma_reordering_study(
@@ -36,68 +98,10 @@ def run_rdma_reordering_study(
 ) -> Dict[str, dict]:
     """FCT percentiles for {gbn, sr} responders under LG_NB (plus an
     ordered-LG gbn reference)."""
-    results: Dict[str, dict] = {}
-    cases = (
-        ("lgnb+gbn", False, False),
-        ("lgnb+sr", False, True),
-        ("lg+gbn", True, False),
-    )
-    for label, ordered, selective_repeat in cases:
-        testbed = build_testbed(
-            rate_gbps=rate_gbps, loss_rate=loss_rate, ordered=ordered,
-            lg_active=True, seed=seed,
+    return {
+        case: run_rdma_case(
+            case, flow_size=flow_size, n_trials=n_trials,
+            loss_rate=loss_rate, rate_gbps=rate_gbps, seed=seed,
         )
-        src = testbed.add_host("h4", "tx", stack_delay_ns=1_000)
-        dst = testbed.add_host("h8", "rx", stack_delay_ns=1_000)
-        records = []
-        naks = {"count": 0}
-        state = {"done": False}
-
-        def launch(trial, src=src, dst=dst, testbed=testbed, records=records,
-                   naks=naks, state=state, selective_repeat=selective_repeat):
-            if trial >= n_trials:
-                state["done"] = True
-                return
-            flow_id = trial + 1
-
-            def finished(record):
-                records.append(record)
-                testbed.sim.schedule(20_000, launch, trial + 1)
-
-            requester = RdmaRequester(testbed.sim, src, "h8", flow_id,
-                                      flow_size, on_complete=finished,
-                                      selective_repeat=selective_repeat)
-            responder = RdmaResponder(testbed.sim, dst, "h4", flow_id,
-                                      selective_repeat=selective_repeat)
-
-            def track_naks(record=None, responder=responder):
-                naks["count"] += responder.naks_sent
-
-            original = requester._complete
-
-            def complete_and_track():
-                track_naks()
-                original()
-
-            requester._complete = complete_and_track
-            requester.start()
-
-        testbed.sim.schedule(0, launch, 0)
-        safety = n_trials * 20 * MS
-        while not state["done"] and testbed.sim.peek() is not None:
-            if testbed.sim.now > safety:
-                break
-            testbed.sim.step()
-
-        fcts = np.array([r.fct_ns / 1e3 for r in records if r.completed])
-        results[label] = {
-            "case": label,
-            "trials": len(records),
-            "p50_us": float(np.percentile(fcts, 50)),
-            "p99_us": float(np.percentile(fcts, 99)),
-            "p99.9_us": float(np.percentile(fcts, 99.9)),
-            "naks": naks["count"],
-            "timeouts": sum(r.timeouts for r in records),
-            "e2e_retx": sum(r.retransmissions for r in records),
-        }
-    return results
+        for case in RDMA_CASES
+    }

@@ -21,10 +21,19 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.rng import RngFactory
+
 __all__ = [
     "LossProcess", "NoLoss", "BernoulliLoss", "GilbertElliottLoss",
     "ScriptedLoss", "burst_length_distribution",
 ]
+
+
+def _default_stream(name: str) -> np.random.Generator:
+    """Fallback for a forgotten ``rng=``: a fixed named stream rather than
+    an OS-entropy generator, so omitting the argument can never silently
+    break run-to-run reproducibility."""
+    return RngFactory(0).stream(f"phy.loss.{name}")
 
 
 class LossProcess:
@@ -57,7 +66,7 @@ class BernoulliLoss(LossProcess):
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"loss rate must be in [0,1], got {rate}")
         self.rate = float(rate)
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else _default_stream("bernoulli")
         # Drawing geometric gaps between losses is ~100x cheaper than one
         # uniform draw per packet at rates like 1e-5.
         self._until_next = self._draw_gap()
@@ -106,7 +115,7 @@ class GilbertElliottLoss(LossProcess):
         self._p_gb = rate * self._p_bg / (1.0 - rate)
         if self._p_gb > 1.0:
             raise ValueError("infeasible (rate, mean_burst) combination")
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else _default_stream("gilbert-elliott")
         self._bad = False
 
     def corrupts(self, packet=None) -> bool:

@@ -1,0 +1,254 @@
+"""Dispatch an :class:`~repro.runner.spec.ExperimentSpec` to its experiment.
+
+Each experiment registers under a ``kind``; :func:`run_cell` resolves the
+kind, runs the cell, and normalises the outcome into a
+:class:`~repro.runner.harness.CellResult`.  Experiment modules are
+imported lazily inside each runner so importing ``repro.runner`` never
+drags in (or cycles with) ``repro.experiments``.
+
+Common field mapping: ``spec.scenario`` carries the per-kind protection
+variant ("noloss"/"loss"/"lg"/"lgnb" for FCT and multihop, the Table 3
+scheme for goodput, "lg"/"lgnb" ordering for the stress test);
+``spec.lg`` carries ``LinkGuardianConfig.for_link_speed`` overrides;
+everything else kind-specific rides in ``spec.params``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Union
+
+from .harness import CellResult
+from .spec import ExperimentSpec
+
+__all__ = ["register", "run_cell", "experiment_kinds"]
+
+_RUNNERS: Dict[str, Callable[[ExperimentSpec], CellResult]] = {}
+
+
+def register(kind: str):
+    """Class-of-experiment decorator: ``@register("fct")``."""
+    def decorate(fn):
+        _RUNNERS[kind] = fn
+        return fn
+    return decorate
+
+
+def experiment_kinds() -> List[str]:
+    return sorted(_RUNNERS)
+
+
+def run_cell(spec: Union[ExperimentSpec, dict]) -> CellResult:
+    """Run one cell and return its unified result (wall clock attached)."""
+    if isinstance(spec, dict):
+        spec = ExperimentSpec.from_dict(spec)
+    try:
+        runner = _RUNNERS[spec.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment kind {spec.kind!r}; "
+            f"known: {experiment_kinds()}"
+        ) from None
+    started = time.perf_counter()
+    result = runner(spec)
+    result.wall_s = time.perf_counter() - started
+    return result
+
+
+def _result(spec: ExperimentSpec, metrics: dict, series: dict = None) -> CellResult:
+    return CellResult(
+        cell_id=spec.cell_id(),
+        spec=spec.to_dict(),
+        metrics=metrics,
+        series=series or {},
+    )
+
+
+def _lg_config(spec: ExperimentSpec):
+    """Materialise spec.lg overrides; None keeps the experiment default."""
+    if not spec.lg:
+        return None
+    from ..linkguardian.config import LinkGuardianConfig
+
+    return LinkGuardianConfig.for_link_speed(spec.rate_gbps, **spec.lg)
+
+
+@register("fct")
+def _run_fct(spec: ExperimentSpec) -> CellResult:
+    from ..experiments.fct import run_fct_experiment
+
+    result = run_fct_experiment(
+        transport=spec.transport,
+        flow_size=spec.flow_size,
+        n_trials=spec.n_trials,
+        scenario=spec.scenario,
+        rate_gbps=spec.rate_gbps,
+        loss_rate=spec.loss_rate,
+        seed=spec.seed,
+        lg_config=_lg_config(spec),
+        **spec.params,
+    )
+    metrics = result.summary()
+    metrics["affected"] = sum(
+        1 for r in result.records if r.retransmissions or r.timeouts
+    )
+    return _result(spec, metrics, {"fcts_us": result.fcts_us.tolist()})
+
+
+@register("goodput")
+def _run_goodput(spec: ExperimentSpec) -> CellResult:
+    from ..experiments.goodput import run_goodput
+
+    row = run_goodput(
+        scheme=spec.scenario,
+        loss_rate=spec.loss_rate,
+        rate_gbps=spec.rate_gbps,
+        seed=spec.seed,
+        **spec.params,
+    )
+    return _result(spec, row)
+
+
+@register("multihop")
+def _run_multihop(spec: ExperimentSpec) -> CellResult:
+    from ..experiments.multihop import run_multihop_fct
+
+    row = run_multihop_fct(
+        transport=spec.transport,
+        flow_size=spec.flow_size,
+        n_trials=spec.n_trials,
+        loss_rate=spec.loss_rate,
+        lg_active=spec.scenario != "loss",
+        ordered=spec.scenario != "lgnb",
+        seed=spec.seed,
+        **spec.params,
+    )
+    return _result(spec, row)
+
+
+@register("stress")
+def _run_stress(spec: ExperimentSpec) -> CellResult:
+    from ..experiments.stress import run_stress_test
+
+    result = run_stress_test(
+        rate_gbps=spec.rate_gbps,
+        loss_rate=spec.loss_rate,
+        ordered=spec.scenario != "lgnb",
+        seed=spec.seed,
+        **spec.params,
+    )
+    metrics = dict(result.row())
+    metrics.update(
+        injected=result.injected,
+        delivered=result.delivered,
+        loss_events=result.loss_events,
+        recovered=result.recovered,
+        timeouts=result.timeouts,
+        recirc_tx_pct=result.recirc_overhead_tx_percent,
+        recirc_rx_pct=result.recirc_overhead_rx_percent,
+    )
+    return _result(spec, metrics, {"retx_delays_us": result.retx_delays_us})
+
+
+@register("timeline")
+def _run_timeline(spec: ExperimentSpec) -> CellResult:
+    from ..experiments.timeline import run_timeline
+
+    result = run_timeline(
+        transport=spec.transport,
+        rate_gbps=spec.rate_gbps,
+        loss_rate=spec.loss_rate,
+        seed=spec.seed,
+        **spec.params,
+    )
+    metrics = {
+        "clean_gbps": result.phase_mean_rate(2, result.corruption_start_ms),
+        "loss_gbps": result.phase_mean_rate(
+            result.corruption_start_ms + 2, result.lg_start_ms),
+        "lg_gbps": result.phase_mean_rate(
+            result.lg_start_ms + 4, float(result.times_ms[-1])),
+        "overflow_drops": result.overflow_drops,
+        "completed_bytes": result.completed_bytes,
+    }
+    series = {
+        "times_ms": result.times_ms.tolist(),
+        "send_rate_gbps": result.send_rate_gbps.tolist(),
+        "qdepth_kb": result.qdepth_kb.tolist(),
+        "rx_buffer_kb": result.rx_buffer_kb.tolist(),
+        "e2e_retx": result.e2e_retx.tolist(),
+    }
+    return _result(spec, metrics, series)
+
+
+@register("rdma_reorder")
+def _run_rdma_reorder(spec: ExperimentSpec) -> CellResult:
+    from ..experiments.rdma_future import run_rdma_case
+
+    row = run_rdma_case(
+        case=spec.params.get("case", "lgnb+sr"),
+        flow_size=spec.flow_size,
+        n_trials=spec.n_trials,
+        loss_rate=spec.loss_rate,
+        rate_gbps=spec.rate_gbps,
+        seed=spec.seed,
+    )
+    return _result(spec, row)
+
+
+@register("deployment")
+def _run_deployment(spec: ExperimentSpec) -> CellResult:
+    from ..experiments.deployment import run_deployment_comparison
+
+    comparison = run_deployment_comparison(seed=spec.seed, **spec.params)
+    return _result(spec, comparison.summary())
+
+
+@register("incremental")
+def _run_incremental(spec: ExperimentSpec) -> CellResult:
+    from ..experiments.incremental import run_incremental_deployment
+
+    fraction = spec.params.get("fraction", 0.5)
+    params = {k: v for k, v in spec.params.items() if k != "fraction"}
+    rows = run_incremental_deployment(
+        fractions=(fraction,), seed=spec.seed, **params)
+    return _result(spec, rows[0])
+
+
+@register("fig01")
+def _run_fig01(spec: ExperimentSpec) -> CellResult:
+    from ..experiments.figures import figure1_attenuation_series
+
+    series = figure1_attenuation_series(**spec.params)
+    return _result(spec, {"n_points": len(series["attenuation_db"])},
+                   {k: list(v) for k, v in series.items()})
+
+
+@register("fig02")
+def _run_fig02(spec: ExperimentSpec) -> CellResult:
+    from ..experiments.figures import figure2_flow_size_cdfs
+
+    table = figure2_flow_size_cdfs(**spec.params)
+    return _result(spec, {"n_sizes": len(table["size_bytes"])},
+                   {k: list(v) for k, v in table.items()})
+
+
+@register("tab01")
+def _run_tab01(spec: ExperimentSpec) -> CellResult:
+    from ..experiments.figures import table1_loss_buckets
+
+    rows = table1_loss_buckets(seed=spec.seed, **spec.params)
+    return _result(spec, {"n_buckets": len(rows)}, {"rows": rows})
+
+
+@register("fig20")
+def _run_fig20(spec: ExperimentSpec) -> CellResult:
+    from ..experiments.figures import figure20_consecutive_losses
+
+    results = figure20_consecutive_losses(seed=spec.seed, **spec.params)
+    metrics = {}
+    series = {}
+    for rate, data in results.items():
+        metrics[f"coverage@{rate:g}"] = data["five_register_coverage"]
+        series[f"bursts@{rate:g}"] = data["bursts"].tolist()
+        series[f"cdf@{rate:g}"] = [data["cdf"][k] for k in sorted(data["cdf"])]
+    return _result(spec, metrics, series)

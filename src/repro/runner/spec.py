@@ -1,0 +1,160 @@
+"""Layer 1 of the runner: declarative experiment and sweep specs.
+
+An :class:`ExperimentSpec` names one cell of the paper's evaluation grid
+— the (transport, scenario, loss rate, flow size, trial count,
+LinkGuardian config) tuple that every ``run_*`` function used to take as
+ad-hoc kwargs.  Specs are frozen, serializable, and carry a stable
+:meth:`~ExperimentSpec.cell_id`, so a cell can be shipped to a worker
+process, checkpointed to disk, and recognised again on resume.
+
+A :class:`SweepSpec` is a cartesian product of axes over a base spec —
+one paper figure is typically one sweep (Figure 10 = transports ×
+scenarios).  When the sweep carries its own ``seed``, every cell gets a
+deterministic per-cell seed derived via :class:`~repro.core.rng.RngFactory`
+from the cell's grid coordinates, so results are independent of execution
+order and identical between serial and parallel runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, List, Optional
+
+from ..core.rng import RngFactory
+
+__all__ = ["ExperimentSpec", "SweepSpec"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One cell of an evaluation grid.
+
+    The first-class fields are the knobs shared by (nearly) every
+    experiment; anything kind-specific rides in ``params`` and
+    LinkGuardianConfig overrides in ``lg`` (keyword arguments to
+    ``LinkGuardianConfig.for_link_speed``, e.g. the Table 2 ablation's
+    ``ordered`` / ``tail_loss_detection`` toggles).
+    """
+
+    kind: str
+    transport: str = "dctcp"
+    scenario: str = "lg"
+    loss_rate: float = 1e-3
+    flow_size: int = 143
+    n_trials: int = 1_000
+    rate_gbps: float = 100.0
+    seed: int = 1
+    lg: Dict[str, Any] = field(default_factory=dict)
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "transport": self.transport,
+            "scenario": self.scenario,
+            "loss_rate": self.loss_rate,
+            "flow_size": self.flow_size,
+            "n_trials": self.n_trials,
+            "rate_gbps": self.rate_gbps,
+            "seed": self.seed,
+            "lg": dict(self.lg),
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ExperimentSpec fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def canonical_json(self) -> str:
+        """Deterministic serialization (sorted keys, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def grid_key(self) -> str:
+        """The cell's coordinates excluding ``seed`` — what per-cell seeds
+        are derived *from*, so the derivation cannot be circular."""
+        data = self.to_dict()
+        del data["seed"]
+        return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+    def cell_id(self) -> str:
+        """Stable human-readable id: grid coordinates plus a short digest
+        covering every field (params and lg overrides included)."""
+        digest = hashlib.sha256(self.canonical_json().encode()).hexdigest()[:8]
+        return (
+            f"{self.kind}-{self.transport}-{self.scenario}"
+            f"-f{self.flow_size}-p{self.loss_rate:g}-s{self.seed}-{digest}"
+        )
+
+    def with_(self, **overrides: Any) -> "ExperimentSpec":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def with_axis(self, axis: str, value: Any) -> "ExperimentSpec":
+        """Set one axis: a field name, or a dotted ``params.x`` / ``lg.x``."""
+        if axis.startswith("params."):
+            return replace(self, params={**self.params, axis[len("params."):]: value})
+        if axis.startswith("lg."):
+            return replace(self, lg={**self.lg, axis[len("lg."):]: value})
+        if axis not in {f.name for f in fields(self)}:
+            raise ValueError(
+                f"unknown axis {axis!r}; use a spec field or params.X / lg.X"
+            )
+        return replace(self, **{axis: value})
+
+
+@dataclass
+class SweepSpec:
+    """A named cartesian product of axes over a base spec.
+
+    ``axes`` maps an axis name (spec field, or dotted ``params.x`` /
+    ``lg.x``) to the list of values it sweeps.  Cells are enumerated in
+    row-major order of the axes dict, which fixes the canonical result
+    order regardless of how execution is scheduled.
+
+    ``seed``: when ``None`` every cell keeps ``base.seed`` (the paper's
+    figures run all scenarios on one seed); when set, each cell's seed is
+    derived from ``(seed, cell grid coordinates)``.
+    """
+
+    name: str
+    base: ExperimentSpec
+    axes: Dict[str, List[Any]] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+    def cells(self) -> List[ExperimentSpec]:
+        names = list(self.axes)
+        out: List[ExperimentSpec] = []
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            spec = self.base
+            for axis, value in zip(names, combo):
+                spec = spec.with_axis(axis, value)
+            if self.seed is not None:
+                spec = spec.with_(
+                    seed=RngFactory(self.seed).child_seed(spec.grid_key())
+                )
+            out.append(spec)
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "base": self.base.to_dict(),
+            "axes": {k: list(v) for k, v in self.axes.items()},
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepSpec":
+        return cls(
+            name=data["name"],
+            base=ExperimentSpec.from_dict(data["base"]),
+            axes={k: list(v) for k, v in data.get("axes", {}).items()},
+            seed=data.get("seed"),
+        )

@@ -1,7 +1,5 @@
 """Tests for bidirectional LinkGuardian (§5)."""
 
-import pytest
-
 from repro.core.engine import Simulator
 from repro.linkguardian.bidirectional import BidirectionalProtectedLink
 from repro.linkguardian.config import LinkGuardianConfig

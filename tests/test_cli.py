@@ -35,6 +35,37 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["fig99"])
 
+    def test_sweep_runs_and_emits_rows(self, capsys, tmp_path):
+        import json
+
+        ckpt = str(tmp_path / "sweep.jsonl")
+        argv = ["sweep", "--kind", "fct",
+                "--axis", "scenario=noloss,loss",
+                "--trials", "20", "--loss-rate", "0.01",
+                "--checkpoint", ckpt, "--json"]
+        assert main(argv) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["scenario"] for r in rows] == ["noloss", "loss"]
+        # Second invocation resumes every cell from the checkpoint.
+        assert main(argv) == 0
+        assert json.loads(capsys.readouterr().out) == rows
+
+    def test_sweep_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--kind", "bogus"])
+
+    def test_sweep_rejects_malformed_axis(self):
+        from repro.cli import parse_axis
+
+        with pytest.raises(ValueError):
+            parse_axis("scenario")
+        with pytest.raises(ValueError):
+            parse_axis("scenario=")
+        assert parse_axis("loss_rate=0.001,0.01") == (
+            "loss_rate", [0.001, 0.01])
+        assert parse_axis("lg.ordered=true,false") == (
+            "lg.ordered", [True, False])
+
     def test_every_command_registered_with_description(self):
         for name, (func, description) in COMMANDS.items():
             assert callable(func)

@@ -7,8 +7,6 @@ the congested normal queue, ECN keeps operating, and congestion drops
 at the *queue* are not confused with corruption drops at the *link*.
 """
 
-import pytest
-
 from repro.experiments.testbed import build_testbed
 from repro.transport.congestion import DctcpCC
 from repro.transport.tcp import TcpReceiver, TcpSender

@@ -1,6 +1,5 @@
 """Integration smoke tests for the experiment harness (small parameters)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.deployment import run_deployment_comparison

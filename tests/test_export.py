@@ -63,7 +63,7 @@ class TestExport:
         out = str(tmp_path / "figures")
         export_results(results, out)
         lines = open(os.path.join(out, "fig19_retx_delay_100g.dat")).read().splitlines()
-        values = [float(l.split()[0]) for l in lines[1:]]
+        values = [float(line.split()[0]) for line in lines[1:]]
         assert values == sorted(values)
 
     def test_partial_results_ok(self, tmp_path):

@@ -8,7 +8,7 @@ from repro.corropt.simulation import (
     lg_effective_loss_rate, lg_effective_speed_fraction,
 )
 from repro.corropt.trace import LOSS_BUCKETS, generate_trace, sample_loss_rates
-from repro.fabric.topology import FABRIC_SPINE, TOR_FABRIC, FabricTopology
+from repro.fabric.topology import FabricTopology
 
 
 def small_topology():

@@ -8,7 +8,6 @@ are safe) and assert liveness plus conservation invariants.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

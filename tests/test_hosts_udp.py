@@ -7,7 +7,7 @@ from repro.experiments.testbed import build_testbed
 from repro.hosts.host import Host
 from repro.packets.packet import Packet
 from repro.transport.udp import UdpSink, UdpSource
-from repro.units import MS, SEC, gbps
+from repro.units import MS, gbps
 
 
 class TestHost:

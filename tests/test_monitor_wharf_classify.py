@@ -9,7 +9,7 @@ from repro.phy.loss import BernoulliLoss
 from repro.transport.flow import FlowRecord
 from repro.analysis.classify import classify_flows
 from repro.wharf.model import WharfFec, best_parameters
-from repro.units import MS, SEC
+from repro.units import MS
 
 import numpy as np
 

@@ -42,7 +42,7 @@ class TestChainTopology:
         assert len(got) == 3_000
         losses = [p.receiver.stats.loss_events for p in chain.links]
         recovered = [p.receiver.stats.recovered for p in chain.links]
-        assert all(l > 0 for l in losses)        # both hops actually lost
+        assert all(n > 0 for n in losses)        # both hops actually lost
         assert recovered == losses               # and both recovered fully
 
 

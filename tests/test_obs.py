@@ -7,7 +7,7 @@ import pytest
 
 from repro.analysis.report import histogram_rows
 from repro.obs import (
-    DEFAULT_NS_BUCKETS, NULL_TRACER, Counter, Gauge, Histogram,
+    DEFAULT_NS_BUCKETS, NULL_TRACER, Histogram,
     MetricsRegistry, Observability, Tracer, events_to_jsonl, to_chrome_trace,
 )
 

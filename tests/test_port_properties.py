@@ -12,7 +12,7 @@ from repro.packets.seqno import SEQ_RANGE
 from repro.switchsim.link import Link
 from repro.switchsim.port import EgressPort
 from repro.switchsim.queues import Queue
-from repro.units import MS, gbps, serialization_ns, wire_bytes
+from repro.units import MS, gbps, serialization_ns
 
 
 @given(st.lists(st.tuples(st.integers(0, 2), st.integers(64, 1518)),

@@ -5,8 +5,6 @@ recovery), Algorithm 2 (backpressure) and the Appendix A state machines
 directly, without links or switches in the way.
 """
 
-import pytest
-
 from repro.core.engine import Simulator
 from repro.linkguardian.config import LinkGuardianConfig
 from repro.linkguardian.receiver import LgReceiver

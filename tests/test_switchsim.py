@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.engine import Simulator
-from repro.packets.packet import EcnCodepoint, Packet, PacketKind
+from repro.packets.packet import EcnCodepoint, Packet
 from repro.phy.loss import BernoulliLoss
 from repro.switchsim.link import Link
 from repro.switchsim.port import EgressPort

@@ -1,7 +1,5 @@
 """Unit tests for TCP receiver reassembly and RDMA responder logic."""
 
-import pytest
-
 from repro.core.engine import Simulator
 from repro.hosts.host import Host
 from repro.packets.packet import EcnCodepoint, Packet, RdmaHeader, TcpHeader

@@ -1,7 +1,5 @@
 """Tests for the RoCEv2 RC (go-back-N) transport model."""
 
-import pytest
-
 from repro.experiments.testbed import build_testbed
 from repro.phy.loss import ScriptedLoss
 from repro.transport.rdma import RdmaRequester, RdmaResponder
