@@ -1,0 +1,78 @@
+"""Fleet-campaign scaling: wall clock vs fleet size, sharded vs serial.
+
+Runs the fleet subsystem end-to-end at increasing fleet sizes (32 to 512
+links), recording wall-clock per size for both a serial run and a
+4-shard run, and asserts the acceptance bar on every size: the sharded
+parallel campaign is byte-identical to the serial one.  The size/time
+series lands in ``benchmarks/results/fleet_scaling.json``.
+"""
+
+import os
+import time
+
+from _report import emit, header, save_json, table
+
+from repro.fleet import FleetCampaignSpec, FleetSpec, run_fleet_campaign
+
+WORKERS = 4
+DURATION_DAYS = 10.0
+SEED = 7
+
+#: (label, pods) — 64 links per pod at the default 8x4x8 pod shape
+FLEET_SIZES = [("32", None), ("128", 2), ("256", 4), ("512", 8)]
+
+
+def _campaign(pods, n_shards=1) -> FleetCampaignSpec:
+    if pods is None:  # the 32-link CI smoke shape: one small pod
+        fleet = FleetSpec(n_pods=1, tors_per_pod=4, fabrics_per_pod=4,
+                          spine_uplinks=4, mttf_hours=500.0)
+    else:
+        fleet = FleetSpec(n_pods=pods, mttf_hours=1000.0)
+    return FleetCampaignSpec(fleet=fleet, duration_days=DURATION_DAYS,
+                             seed=SEED, n_shards=n_shards)
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_fleet_scaling(benchmark):
+    def _run():
+        rows = []
+        for label, pods in FLEET_SIZES:
+            t0 = time.perf_counter()
+            serial = run_fleet_campaign(_campaign(pods))
+            t_serial = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            parallel = run_fleet_campaign(
+                _campaign(pods, n_shards=WORKERS), workers=WORKERS)
+            t_parallel = time.perf_counter() - t0
+            assert parallel.canonical_json() == serial.canonical_json(), (
+                f"{label}-link campaign: sharded run diverged from serial")
+            rows.append({
+                "links": int(label),
+                "episodes": int(serial.slos["n_episodes"]),
+                "serial_s": t_serial,
+                "parallel_s": t_parallel,
+                "speedup": t_serial / t_parallel,
+                "affected_flow_fraction":
+                    serial.slos["affected_flow_fraction"],
+            })
+        return rows
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    cores = _usable_cores()
+    header(f"Fleet scaling — {DURATION_DAYS:g}-day campaigns, "
+           f"{WORKERS} shards/workers, {cores} usable cores")
+    table(rows)
+    emit("(sharded parallel byte-identical to serial at every size)")
+    save_json("fleet_scaling", {
+        "workers": WORKERS,
+        "duration_days": DURATION_DAYS,
+        "seed": SEED,
+        "usable_cores": cores,
+        "rows": rows,
+    })

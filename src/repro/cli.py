@@ -399,6 +399,51 @@ def cmd_sweep(args) -> None:
     _emit(cell_rows(results))
 
 
+def cmd_fleet(args) -> None:
+    """Fleet-scale campaign: sharded corruption fleet + fleet-wide corruptd."""
+    from .fleet import (
+        POLICIES, ControllerConfig, FleetCampaignSpec, FleetSpec,
+        run_fleet_campaign,
+    )
+
+    if args.policy not in POLICIES:
+        raise SystemExit(
+            f"unknown --policy {args.policy!r}; known: {', '.join(sorted(POLICIES))}"
+        )
+    campaign = FleetCampaignSpec(
+        fleet=FleetSpec(
+            n_pods=args.fleet_pods,
+            tors_per_pod=args.fleet_tors,
+            fabrics_per_pod=args.fleet_fabrics,
+            spine_uplinks=args.fleet_spines,
+            mttf_hours=args.mttf_hours,
+        ),
+        controller=ControllerConfig(activation_budget=args.activation_budget),
+        policy=args.policy,
+        duration_days=args.days,
+        seed=args.seed,
+        n_shards=args.shards,
+    )
+
+    def progress(result) -> None:
+        if not _JSON_MODE:
+            _print(f"[{result.cell_id}] {result.metrics['n_episodes']} episodes "
+                   f"in {result.wall_s:.2f}s")
+
+    result = run_fleet_campaign(
+        campaign, workers=args.workers, checkpoint=args.checkpoint,
+        obs=args.obs, progress=progress,
+    )
+    if _JSON_MODE:
+        # The canonical form: byte-identical across runs and shardings.
+        _print(result.canonical_json())
+    else:
+        _print(f"fleet: {campaign.fleet.n_links} links, "
+               f"{campaign.duration_days:g} days, policy={campaign.policy}, "
+               f"{campaign.n_shards} shard(s)")
+        _emit([result.summary()])
+
+
 def cmd_metrics(args) -> None:
     """Instrumented fig09-style run + registry summary (the obs showcase)."""
     from .analysis.report import histogram_rows
@@ -471,6 +516,7 @@ COMMANDS = {
     "export": (cmd_export, "convert benchmarks/results JSON to .dat/.csv"),
     "metrics": (cmd_metrics, "instrumented run + metrics-registry summary"),
     "sweep": (cmd_sweep, "declarative cell sweep (parallel, resumable)"),
+    "fleet": (cmd_fleet, "fleet campaign: sharded links + fleet-wide corruptd"),
 }
 
 
@@ -519,6 +565,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="sweep: derive a deterministic per-cell seed "
                              "from this root (default: every cell keeps "
                              "--seed, as in the paper's figures)")
+    parser.add_argument("--policy", default="incremental",
+                        help="fleet: controller policy "
+                             "(incremental | greedy-worst)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="fleet: link shards executed through the "
+                             "sweep runner (bit-identical to --shards 1)")
+    parser.add_argument("--fleet-pods", type=int, default=4,
+                        help="fleet: pods in the generated Clos fabric")
+    parser.add_argument("--fleet-tors", type=int, default=8,
+                        help="fleet: ToR switches per pod")
+    parser.add_argument("--fleet-fabrics", type=int, default=4,
+                        help="fleet: fabric switches per pod")
+    parser.add_argument("--fleet-spines", type=int, default=8,
+                        help="fleet: spine uplinks per fabric switch")
+    parser.add_argument("--activation-budget", type=int, default=64,
+                        help="fleet: max concurrent LinkGuardian "
+                             "activations fleet-wide")
     parser.add_argument("--resume-kb", type=float, default=2.0,
                         help="fig09 backpressure resume threshold in KB, "
                              "scaled down like the phase durations so "

@@ -84,6 +84,25 @@ class FabricTopology:
                     self.links.append(link)
                     link_id += 1
 
+    # -- index validation --------------------------------------------------------
+
+    def _check_index(self, name: str, value: int, bound: int) -> int:
+        if not 0 <= value < bound:
+            raise ValueError(
+                f"{name} index {value} out of range [0, {bound}) "
+                f"for this {self.n_pods}-pod topology"
+            )
+        return value
+
+    def _check_pod(self, pod: int) -> int:
+        return self._check_index("pod", pod, self.n_pods)
+
+    def _check_tor(self, tor: int) -> int:
+        return self._check_index("tor", tor, self.tors_per_pod)
+
+    def _check_fabric(self, fabric: int) -> int:
+        return self._check_index("fabric", fabric, self.fabrics_per_pod)
+
     # -- basic queries ------------------------------------------------------------
 
     @property
@@ -91,16 +110,42 @@ class FabricTopology:
         return len(self.links)
 
     def link(self, link_id: int) -> FabricLink:
+        self._check_index("link", link_id, len(self.links))
         return self.links[link_id]
 
     def pod_links(self, pod: int) -> Iterator[FabricLink]:
+        self._check_pod(pod)
         for link in self.links:
             if link.pod == pod:
                 yield link
 
+    # -- adjacency ----------------------------------------------------------------
+
+    def links_for_tor(self, pod: int, tor: int) -> List[FabricLink]:
+        """The ToR's uplinks into the pod's fabric switches."""
+        self._check_pod(pod)
+        self._check_tor(tor)
+        return [
+            self._tor_fabric[(pod, tor, fabric)]
+            for fabric in range(self.fabrics_per_pod)
+        ]
+
+    def links_between(self, pod: int, tor: int, fabric: int) -> List[FabricLink]:
+        """Links directly connecting a ToR to one fabric switch.
+
+        Returns a list (of one, in this single-link topology) so callers
+        are ready for trunked multi-link bundles.
+        """
+        self._check_pod(pod)
+        self._check_tor(tor)
+        self._check_fabric(fabric)
+        return [self._tor_fabric[(pod, tor, fabric)]]
+
     # -- path counting -------------------------------------------------------------
 
     def fabric_up_spine_links(self, pod: int, fabric: int) -> int:
+        self._check_pod(pod)
+        self._check_fabric(fabric)
         return sum(
             1
             for port in range(self.spine_uplinks)
@@ -109,6 +154,8 @@ class FabricTopology:
 
     def tor_paths(self, pod: int, tor: int) -> int:
         """Valley-free paths from this ToR to the spine layer."""
+        self._check_pod(pod)
+        self._check_tor(tor)
         total = 0
         for fabric in range(self.fabrics_per_pod):
             if self._tor_fabric[(pod, tor, fabric)].up:
@@ -116,6 +163,7 @@ class FabricTopology:
         return total
 
     def pod_min_tor_paths(self, pod: int) -> int:
+        self._check_pod(pod)
         spine_up = [
             self.fabric_up_spine_links(pod, fabric)
             for fabric in range(self.fabrics_per_pod)
@@ -149,6 +197,7 @@ class FabricTopology:
         stages (ToR->fabric and fabric->spine), normalized so a fully
         healthy pod is 1.0.
         """
+        self._check_pod(pod)
         tor_stage = sum(
             self._tor_fabric[(pod, tor, fabric)].effective_capacity
             for tor in range(self.tors_per_pod)

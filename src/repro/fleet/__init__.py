@@ -1,0 +1,43 @@
+"""Fleet-scale fabric campaigns with fleet-wide corruptd orchestration.
+
+``repro.fleet`` scales the per-link machinery to whole datacenters:
+
+* :mod:`~repro.fleet.topology` — multi-pod Clos fleets whose links carry
+  independent, heavy-tailed corruption processes from named RNG streams;
+* :mod:`~repro.fleet.controller` — the fleet-wide arbitration loop
+  (LinkGuardian activation vs CorrOpt disable) with pluggable policies;
+* :mod:`~repro.fleet.campaign` — sharded campaign execution through the
+  runner layer, rolled up into fleet SLOs, bit-identical for any
+  shard/worker count.
+
+Quickstart::
+
+    from repro.fleet import FleetCampaignSpec, FleetSpec, run_fleet_campaign
+
+    campaign = FleetCampaignSpec(
+        fleet=FleetSpec(n_pods=4, tors_per_pod=8), n_shards=4)
+    result = run_fleet_campaign(campaign, workers=4)
+    print(result.summary())
+"""
+
+from .campaign import (
+    FleetCampaignResult, FleetCampaignSpec, run_fleet_campaign, run_shard,
+    shard_bounds, unprotected_goodput_fraction,
+)
+from .controller import (
+    POLICIES, ControllerConfig, FleetController, FleetPolicy,
+    GreedyWorstLinkPolicy, IncrementalDeploymentPolicy,
+)
+from .topology import (
+    CorruptionEpisode, FleetSpec, FleetTopology, LinkProfile, link_episodes,
+    sample_affected_fraction, sample_profile,
+)
+
+__all__ = [
+    "FleetCampaignResult", "FleetCampaignSpec", "run_fleet_campaign",
+    "run_shard", "shard_bounds", "unprotected_goodput_fraction",
+    "POLICIES", "ControllerConfig", "FleetController", "FleetPolicy",
+    "GreedyWorstLinkPolicy", "IncrementalDeploymentPolicy",
+    "CorruptionEpisode", "FleetSpec", "FleetTopology", "LinkProfile",
+    "link_episodes", "sample_affected_fraction", "sample_profile",
+]

@@ -1,0 +1,342 @@
+"""Sharded fleet campaigns: generate → arbitrate → roll up to fleet SLOs.
+
+A campaign answers the ROADMAP's production-scale question: across a
+whole fleet of links under the heavy-tailed corruption distribution,
+what fraction of flows does corruption touch, what does the fleet-wide
+goodput look like, and how hard does the controller work?  The execution
+scheme is built for scale and bit-reproducibility:
+
+1. **Shard** — links are partitioned into contiguous id ranges; each
+   shard is one :class:`~repro.runner.spec.ExperimentSpec` cell (kind
+   ``fleet_shard``) executed through
+   :class:`~repro.runner.sweep.SweepRunner`, so parallel execution,
+   JSONL checkpoint/resume and canonical result order come from the
+   existing runner layer.  Shard work — episode generation plus the
+   vectorized Gilbert–Elliott flow sampling — only touches per-link
+   named RNG streams, so shard boundaries can never change a single
+   draw.
+2. **Arbitrate** — the merged episode timeline (sorted by ``(onset,
+   link_id)``) is replayed serially through the
+   :class:`~repro.fleet.controller.FleetController`; the control plane
+   is cheap and global, so it does not shard.
+3. **Roll up** — controller segments turn into fleet SLOs with
+   closed-form per-segment arithmetic (affected-flow fraction, goodput
+   fraction, p99 FCT inflation, decision counts per day).
+
+The same seed therefore yields a byte-identical
+:meth:`FleetCampaignResult.canonical_json` for any ``(n_shards,
+workers)`` combination.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.rng import RngFactory
+from ..corropt.simulation import lg_effective_speed_fraction
+from ..runner.spec import ExperimentSpec, SweepSpec
+from ..runner.sweep import SweepRunner
+from .controller import (
+    DISABLED, EXPOSED, PROTECTED, POLICIES, ControllerConfig, FleetController,
+)
+from .topology import (
+    DAY_S, CorruptionEpisode, FleetSpec, FleetTopology, link_episodes,
+    sample_affected_fraction,
+)
+
+__all__ = [
+    "FleetCampaignSpec", "FleetCampaignResult",
+    "shard_bounds", "run_shard", "run_fleet_campaign",
+    "unprotected_goodput_fraction",
+]
+
+#: FCT inflation factor for a flow that loses >= 1 packet with LinkGuardian
+#: active: recovery is sub-RTT (Figure 19: 2-6 us on a ~20 us RTT).
+LG_FCT_INFLATION = 1.05
+#: ... and without protection: timeout-dominated recovery for short flows
+#: (paper Figure 10: p99 single-packet FCT goes from ~25 us to RTO-scale).
+EXPOSED_FCT_INFLATION = 10.0
+#: packets in flight per RTT on a healthy link, for the Mathis-style
+#: unprotected goodput model below (100G, ~20 us RTT, 1460 B MSS ~ 171;
+#: rounded down to stay conservative).
+BDP_PACKETS = 128
+
+
+def unprotected_goodput_fraction(loss_rate: float) -> float:
+    """Goodput of a corrupting, unprotected link as a fraction of line rate.
+
+    Mathis et al.: TCP throughput ~ (MSS/RTT) * 1.22/sqrt(p); normalized
+    by the link's bandwidth-delay product in packets and clamped to 1.
+    Matches the Table 3 shape: negligible damage at 1e-5, collapse at 1e-3.
+    """
+    if loss_rate <= 0.0:
+        return 1.0
+    return min(1.0, 1.22 / (math.sqrt(loss_rate) * BDP_PACKETS))
+
+
+@dataclass(frozen=True)
+class FleetCampaignSpec:
+    """Everything one fleet campaign needs, serializable for shard cells."""
+
+    fleet: FleetSpec = field(default_factory=FleetSpec)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    policy: str = "incremental"
+    duration_days: float = 30.0
+    seed: int = 1
+    n_shards: int = 1
+    #: offered load per link, for the affected-flow and FCT rollups
+    flows_per_link_per_s: float = 100.0
+    flow_packets: int = 100
+    #: flows sampled per episode for the empirical Gilbert-Elliott
+    #: affected-fraction measurement
+    sample_flows: int = 128
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; known: {sorted(POLICIES)}")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.n_shards > self.fleet.n_links:
+            raise ValueError(
+                f"n_shards={self.n_shards} exceeds fleet links "
+                f"({self.fleet.n_links})")
+        if self.duration_days <= 0:
+            raise ValueError("duration_days must be positive")
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_days * DAY_S
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["fleet"] = self.fleet.to_dict()
+        out["controller"] = self.controller.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FleetCampaignSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown FleetCampaignSpec fields: {sorted(unknown)}")
+        data = dict(data)
+        data["fleet"] = FleetSpec.from_dict(data.get("fleet", {}))
+        data["controller"] = ControllerConfig.from_dict(
+            data.get("controller", {}))
+        return cls(**data)
+
+
+def shard_bounds(n_links: int, n_shards: int, shard: int) -> Tuple[int, int]:
+    """Contiguous ``[lo, hi)`` link-id range of one shard (balanced)."""
+    if not 0 <= shard < n_shards:
+        raise ValueError(f"shard {shard} out of range [0, {n_shards})")
+    base, extra = divmod(n_links, n_shards)
+    lo = shard * base + min(shard, extra)
+    hi = lo + base + (1 if shard < extra else 0)
+    return lo, hi
+
+
+def run_shard(campaign: FleetCampaignSpec, shard: int) -> List[CorruptionEpisode]:
+    """Generate one shard's episodes, with empirical affected fractions.
+
+    All randomness is drawn from streams named by ``link_id`` (and the
+    episode's index on its link), so the output is a pure function of
+    ``(campaign.seed, link_id)`` — re-sharding cannot move any draw.
+    """
+    factory = RngFactory(campaign.seed)
+    lo, hi = shard_bounds(campaign.fleet.n_links, campaign.n_shards, shard)
+    episodes: List[CorruptionEpisode] = []
+    for link_id in range(lo, hi):
+        for ep_index, episode in enumerate(
+                link_episodes(campaign.fleet, factory, link_id,
+                              campaign.duration_s)):
+            flows_rng = factory.stream(
+                f"fleet.link.{link_id}.flows.{ep_index}")
+            affected = sample_affected_fraction(
+                flows_rng, episode.loss_rate, episode.mean_burst,
+                campaign.flow_packets, campaign.sample_flows,
+            )
+            episodes.append(CorruptionEpisode(
+                link_id=episode.link_id,
+                onset_s=episode.onset_s,
+                clear_s=episode.clear_s,
+                loss_rate=episode.loss_rate,
+                mean_burst=episode.mean_burst,
+                affected_fraction=affected,
+            ))
+    return episodes
+
+
+def shard_sweep(campaign: FleetCampaignSpec) -> SweepSpec:
+    """The campaign's shards as one runner sweep (kind ``fleet_shard``)."""
+    base = ExperimentSpec(
+        kind="fleet_shard",
+        scenario=campaign.policy,
+        n_trials=1,
+        seed=campaign.seed,
+        params={"campaign": campaign.to_dict()},
+    )
+    return SweepSpec(
+        name=f"fleet-{campaign.policy}-{campaign.fleet.n_links}links",
+        base=base,
+        axes={"params.shard": list(range(campaign.n_shards))},
+    )
+
+
+@dataclass
+class FleetCampaignResult:
+    """Fleet SLOs plus the controller's audit counters and time series."""
+
+    spec: Dict[str, Any]
+    slos: Dict[str, float]
+    counts: Dict[str, int]
+    series: Dict[str, list]
+    wall_s: float = 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        return {**self.slos, **self.counts}
+
+    def canonical_json(self) -> str:
+        """Deterministic serialization: same seed => byte-identical,
+        independent of sharding/workers.  ``n_shards`` is an execution
+        detail (like worker count and wall clock), so it is excluded —
+        a 4-shard parallel run serializes identically to a serial run."""
+        spec = dict(self.spec)
+        spec.pop("n_shards", None)
+        data = {
+            "spec": spec,
+            "slos": self.slos,
+            "counts": self.counts,
+            "series": self.series,
+        }
+        return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _analytic_affected(loss_rate: float, flow_packets: int) -> float:
+    """P(flow of n packets loses >= 1) under i.i.d. loss — used for the
+    LinkGuardian-protected state, where retransmission breaks bursts and
+    the residual effective loss really is independent."""
+    if loss_rate <= 0.0:
+        return 0.0
+    return -math.expm1(flow_packets * math.log1p(-min(loss_rate, 1.0 - 1e-15)))
+
+
+def run_fleet_campaign(
+    campaign: FleetCampaignSpec,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    obs=None,
+    progress=None,
+) -> FleetCampaignResult:
+    """Run the full campaign: sharded generation, arbitration, rollup."""
+    started = time.perf_counter()
+    runner = SweepRunner(shard_sweep(campaign), workers=workers,
+                         checkpoint=checkpoint)
+    shard_results = runner.run(progress=progress)
+    episodes = [
+        CorruptionEpisode.from_dict(raw)
+        for result in shard_results
+        for raw in result.series["episodes"]
+    ]
+    episodes.sort(key=lambda e: (e.onset_s, e.link_id))
+
+    topology = FleetTopology(campaign.fleet, campaign.seed)
+    controller = FleetController(
+        topology, campaign.controller, POLICIES[campaign.policy](), obs=obs)
+    outcome = controller.run(episodes)
+
+    # -- rollup: segments -> fleet SLOs ---------------------------------------
+    duration_s = campaign.duration_s
+    n_links = campaign.fleet.n_links
+    flow_rate = campaign.flows_per_link_per_s
+    total_flows = n_links * flow_rate * duration_s
+    link_seconds = n_links * duration_s
+
+    affected_exposed = 0.0
+    affected_lg = 0.0
+    goodput_delta = 0.0     # lost link-seconds vs an all-healthy fleet
+    exposed_s = 0.0
+    protected_s = 0.0
+    disabled_s = 0.0
+    n_days = max(1, math.ceil(campaign.duration_days))
+    decisions_per_day = {
+        action: [0] * n_days
+        for action in ("activate", "disable", "blocked", "preempt")
+    }
+
+    for index, segments in sorted(outcome.segments.items()):
+        episode = episodes[index]
+        for segment in segments:
+            span = segment.end_s - segment.start_s
+            if span <= 0:
+                continue
+            flows = flow_rate * span
+            if segment.state == EXPOSED:
+                exposed_s += span
+                affected_exposed += flows * episode.affected_fraction
+                goodput_delta += span * (
+                    1.0 - unprotected_goodput_fraction(episode.loss_rate))
+            elif segment.state == PROTECTED:
+                protected_s += span
+                residual = controller.effective_loss(episode.loss_rate)
+                affected_lg += flows * _analytic_affected(
+                    residual, campaign.flow_packets)
+                goodput_delta += span * (
+                    1.0 - lg_effective_speed_fraction(episode.loss_rate))
+            elif segment.state == DISABLED:
+                disabled_s += span
+                goodput_delta += span  # the link contributes nothing
+
+    for decision in outcome.decisions:
+        bucket = min(int(decision.time_s / DAY_S), n_days - 1)
+        if decision.action in decisions_per_day:
+            decisions_per_day[decision.action][bucket] += 1
+
+    affected_flows = affected_exposed + affected_lg
+    # p99 FCT inflation from the three-level mixture (1.0 for unaffected).
+    levels = sorted([
+        (1.0, total_flows - affected_flows),
+        (LG_FCT_INFLATION, affected_lg),
+        (EXPOSED_FCT_INFLATION, affected_exposed),
+    ])
+    threshold = 0.99 * total_flows
+    cumulative = 0.0
+    p99_inflation = levels[-1][0]
+    for level, weight in levels:
+        cumulative += weight
+        if cumulative >= threshold:
+            p99_inflation = level
+            break
+
+    slos = {
+        "affected_flow_fraction": affected_flows / total_flows,
+        "fleet_goodput_fraction": 1.0 - goodput_delta / link_seconds,
+        "p99_fct_inflation": p99_inflation,
+        "exposed_link_s": exposed_s,
+        "protected_link_s": protected_s,
+        "disabled_link_s": disabled_s,
+        "n_episodes": float(len(episodes)),
+    }
+    counts = outcome.counts()
+    result = FleetCampaignResult(
+        spec=campaign.to_dict(),
+        slos=slos,
+        counts=counts,
+        series={
+            f"{action}_per_day": buckets
+            for action, buckets in sorted(decisions_per_day.items())
+        },
+        wall_s=time.perf_counter() - started,
+    )
+    if obs is not None:
+        obs.registry.register_provider(
+            f"fleet.rollup.{campaign.policy}",
+            lambda: {**result.slos, **result.counts},
+        )
+    return result

@@ -1,0 +1,393 @@
+"""Fleet-wide corruptd: capacity-aware arbitration over corrupting links.
+
+The single-link :class:`~repro.monitor.corruptd.Corruptd` answers one
+question — "is this link corrupting?".  At fleet scale the paper's §6
+deployment story needs a second, global decision per corrupting link:
+
+* **disable** it for repair (CorrOpt) when the fast checker says the
+  pod keeps ``capacity_constraint`` of its valley-free ToR paths, or
+* **activate LinkGuardian** and keep carrying traffic at the Figure 8
+  effective speed, bounded by a fleet-wide activation budget (dataplane
+  resources are finite) and a per-pod capacity floor, or
+* leave it **exposed** (blocked) when neither is possible.
+
+The arbitration loop replays the fleet's merged corruption-episode
+timeline in deterministic ``(time, link_id)`` order, delegating each
+onset to a pluggable :class:`FleetPolicy`.  Two policies ship: the
+paper's incremental-deployment policy (disable-first, LG as the relief
+valve when capacity is tight) and a greedy-worst-link baseline (LG-first
+on the highest loss rates, preempting milder links when the budget is
+full).  Every decision is counted in the metrics registry and emitted on
+the event trace under the ``fleet`` category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..corropt.simulation import (
+    lg_effective_loss_rate, lg_effective_speed_fraction,
+)
+from ..fabric.topology import FabricLink
+from ..obs.trace import NULL_TRACER
+from .topology import CorruptionEpisode, FleetTopology
+
+__all__ = [
+    "ControllerConfig", "Decision", "EpisodeSegment", "ControllerOutcome",
+    "FleetPolicy", "IncrementalDeploymentPolicy", "GreedyWorstLinkPolicy",
+    "FleetController", "POLICIES",
+]
+
+#: states a corrupting link can sit in until its episode clears
+EXPOSED = "exposed"     # corrupting, unprotected: flows eat the loss
+PROTECTED = "lg"        # LinkGuardian active: loss masked, speed fraction paid
+DISABLED = "down"       # taken out for repair: capacity lost, flows reroute
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Fleet-wide knobs of the arbitration loop."""
+
+    #: CorrOpt fast-checker floor: min fraction of valley-free ToR paths
+    capacity_constraint: float = 0.75
+    #: per-pod capacity floor LG activation must preserve (activating at
+    #: reduced effective speed still costs capacity)
+    pod_capacity_floor: float = 0.5
+    #: max concurrent LinkGuardian activations fleet-wide
+    activation_budget: int = 64
+    #: fraction of links whose endpoints are LG-capable (§6 incremental)
+    lg_deployment_fraction: float = 1.0
+    lg_target_loss: float = 1e-8
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ControllerConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ControllerConfig fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One controller action, for the audit trail and the event trace."""
+
+    time_s: float
+    link_id: int
+    action: str          # "disable" | "activate" | "blocked" | "preempt" | "clear"
+    loss_rate: float
+
+
+@dataclass
+class EpisodeSegment:
+    """A [start, end) slice of one episode spent in one state."""
+
+    start_s: float
+    end_s: float
+    state: str           # EXPOSED | PROTECTED | DISABLED
+
+
+@dataclass
+class ControllerOutcome:
+    """What the arbitration loop decided, episode by episode."""
+
+    #: episode index (in the merged, sorted episode list) -> state slices
+    segments: Dict[int, List[EpisodeSegment]] = field(default_factory=dict)
+    decisions: List[Decision] = field(default_factory=list)
+    activations: int = 0
+    disables: int = 0
+    blocked: int = 0
+    preemptions: int = 0
+    max_concurrent_lg: int = 0
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "activations": self.activations,
+            "disables": self.disables,
+            "blocked": self.blocked,
+            "preemptions": self.preemptions,
+            "max_concurrent_lg": self.max_concurrent_lg,
+        }
+
+
+class FleetPolicy:
+    """Pluggable arbitration strategy; subclasses decide per onset."""
+
+    name = "base"
+
+    def on_onset(self, controller: "FleetController", link: FabricLink,
+                 episode: CorruptionEpisode, index: int) -> None:
+        raise NotImplementedError
+
+    def on_clear(self, controller: "FleetController", link: FabricLink,
+                 episode: CorruptionEpisode, index: int) -> None:
+        """Hook after a repaired link returns (optimizer pass etc.)."""
+
+
+class IncrementalDeploymentPolicy(FleetPolicy):
+    """The paper's deployment policy (§6): disable-first, LG when blocked.
+
+    CorrOpt semantics with LinkGuardian as the relief valve: a corrupting
+    link is disabled for repair whenever the capacity constraint allows;
+    when it does not, LinkGuardian keeps the link carrying traffic.  On
+    every repair completion an optimizer pass retries the still-exposed
+    links, worst first.
+    """
+
+    name = "incremental"
+
+    def on_onset(self, controller, link, episode, index) -> None:
+        if controller.try_disable(link, episode, index):
+            return
+        if controller.try_activate(link, episode, index):
+            return
+        controller.mark_blocked(link, episode, index)
+
+    def on_clear(self, controller, link, episode, index) -> None:
+        now_s = episode.clear_s
+        for other_index, other in controller.exposed_worst_first():
+            other_link = controller.topology.link(other.link_id)
+            if controller.try_disable(other_link, other, other_index, now_s):
+                continue
+            controller.try_activate(other_link, other, other_index, now_s)
+
+
+class GreedyWorstLinkPolicy(FleetPolicy):
+    """Baseline: spend the LG budget on the worst links, preempting.
+
+    Activation-first — corruption is masked rather than routed around —
+    and when the budget is full the mildest active link is preempted if
+    the newcomer is strictly worse.  Links that miss the budget fall back
+    to CorrOpt disable, then to exposed.
+    """
+
+    name = "greedy-worst"
+
+    def on_onset(self, controller, link, episode, index) -> None:
+        if controller.try_activate(link, episode, index):
+            return
+        if controller.can_preempt_for(episode):
+            controller.preempt_mildest(episode.onset_s)
+            if controller.try_activate(link, episode, index):
+                return
+        if controller.try_disable(link, episode, index):
+            return
+        controller.mark_blocked(link, episode, index)
+
+    def on_clear(self, controller, link, episode, index) -> None:
+        now_s = episode.clear_s
+        for other_index, other in controller.exposed_worst_first():
+            other_link = controller.topology.link(other.link_id)
+            if controller.try_activate(other_link, other, other_index, now_s):
+                continue
+            controller.try_disable(other_link, other, other_index, now_s)
+
+
+POLICIES = {
+    IncrementalDeploymentPolicy.name: IncrementalDeploymentPolicy,
+    GreedyWorstLinkPolicy.name: GreedyWorstLinkPolicy,
+}
+
+
+class FleetController:
+    """Replays a merged episode timeline and arbitrates each onset."""
+
+    def __init__(
+        self,
+        topology: FleetTopology,
+        config: ControllerConfig,
+        policy: FleetPolicy,
+        obs=None,
+    ) -> None:
+        self.topology = topology
+        self.config = config
+        self.policy = policy
+        self.outcome = ControllerOutcome()
+        self._active: Dict[int, int] = {}    # link_id -> episode index (LG on)
+        self._exposed: Dict[int, int] = {}   # link_id -> episode index
+        self._lg_capable: Dict[int, bool] = {}
+        self._episodes: List[CorruptionEpisode] = []
+        self._tracer = obs.tracer if obs is not None else NULL_TRACER
+        self._counters = None
+        if obs is not None:
+            prefix = f"fleet.controller.{policy.name}"
+            self._counters = {
+                action: obs.registry.counter(f"{prefix}.{action}")
+                for action in ("activate", "disable", "blocked", "preempt")
+            }
+            self._lg_gauge = obs.registry.gauge(f"{prefix}.lg_active")
+
+    # -- state transitions used by policies ------------------------------------
+
+    def _record(self, time_s: float, link_id: int, action: str,
+                loss_rate: float) -> None:
+        self.outcome.decisions.append(Decision(time_s, link_id, action, loss_rate))
+        if self._counters is not None and action in self._counters:
+            self._counters[action].inc()
+        if self._tracer.enabled:
+            self._tracer.instant(int(time_s * 1e9), "fleet", action, {
+                "link": link_id, "loss_rate": loss_rate,
+            })
+
+    def _open_segment(self, index: int, start_s: float, state: str) -> None:
+        self.outcome.segments.setdefault(index, []).append(
+            EpisodeSegment(start_s, self._episodes[index].clear_s, state))
+
+    def _close_segment(self, index: int, end_s: float) -> None:
+        self.outcome.segments[index][-1].end_s = end_s
+
+    def _is_lg_capable(self, link_id: int) -> bool:
+        fraction = self.config.lg_deployment_fraction
+        if fraction >= 1.0:
+            return True
+        cached = self._lg_capable.get(link_id)
+        if cached is None:
+            # A deterministic per-link coin from the fleet's own seed stream.
+            rng = self.topology.factory.stream(f"fleet.link.{link_id}.lg-capable")
+            cached = float(rng.random()) < fraction
+            self._lg_capable[link_id] = cached
+        return cached
+
+    def try_disable(self, link: FabricLink, episode: CorruptionEpisode,
+                    index: int, time_s: Optional[float] = None) -> bool:
+        if not self.topology.can_disable(link, self.config.capacity_constraint):
+            return False
+        time_s = episode.onset_s if time_s is None else time_s
+        if link.link_id in self._exposed:
+            del self._exposed[link.link_id]
+            self._close_segment(index, time_s)
+        link.up = False
+        link.lg_enabled = False
+        link.speed_fraction = 1.0
+        self.outcome.disables += 1
+        self._record(time_s, link.link_id, "disable", episode.loss_rate)
+        self._open_segment(index, time_s, DISABLED)
+        return True
+
+    def try_activate(self, link: FabricLink, episode: CorruptionEpisode,
+                     index: int, time_s: Optional[float] = None) -> bool:
+        if len(self._active) >= self.config.activation_budget:
+            return False
+        if not self._is_lg_capable(link.link_id):
+            return False
+        speed = lg_effective_speed_fraction(episode.loss_rate)
+        previous = link.speed_fraction
+        link.lg_enabled = True
+        link.speed_fraction = speed
+        if (self.topology.pod_capacity_fraction(link.pod)
+                < self.config.pod_capacity_floor):
+            link.lg_enabled = False
+            link.speed_fraction = previous
+            return False
+        time_s = episode.onset_s if time_s is None else time_s
+        if link.link_id in self._exposed:
+            del self._exposed[link.link_id]
+            self._close_segment(index, time_s)
+        self._active[link.link_id] = index
+        self.outcome.activations += 1
+        self.outcome.max_concurrent_lg = max(
+            self.outcome.max_concurrent_lg, len(self._active))
+        if self._counters is not None:
+            self._lg_gauge.set(len(self._active))
+        self._record(time_s, link.link_id, "activate", episode.loss_rate)
+        self._open_segment(index, time_s, PROTECTED)
+        return True
+
+    def mark_blocked(self, link: FabricLink, episode: CorruptionEpisode,
+                     index: int) -> None:
+        self._exposed[link.link_id] = index
+        self.outcome.blocked += 1
+        self._record(episode.onset_s, link.link_id, "blocked", episode.loss_rate)
+        self._open_segment(index, episode.onset_s, EXPOSED)
+
+    def can_preempt_for(self, episode: CorruptionEpisode) -> bool:
+        mildest = self._mildest_active()
+        return (mildest is not None
+                and self._episodes[mildest[1]].loss_rate < episode.loss_rate)
+
+    def preempt_mildest(self, time_s: float) -> None:
+        mildest = self._mildest_active()
+        if mildest is None:
+            return
+        link_id, index = mildest
+        link = self.topology.link(link_id)
+        del self._active[link_id]
+        link.lg_enabled = False
+        link.speed_fraction = 1.0
+        self._close_segment(index, time_s)
+        self._exposed[link_id] = index
+        self._open_segment(index, time_s, EXPOSED)
+        self.outcome.preemptions += 1
+        if self._counters is not None:
+            self._lg_gauge.set(len(self._active))
+        self._record(time_s, link_id, "preempt", self._episodes[index].loss_rate)
+
+    def _mildest_active(self) -> Optional[Tuple[int, int]]:
+        """(link_id, episode index) of the mildest LG-protected link."""
+        if not self._active:
+            return None
+        return min(
+            self._active.items(),
+            key=lambda item: (self._episodes[item[1]].loss_rate, item[0]),
+        )
+
+    def exposed_worst_first(self) -> List[Tuple[int, CorruptionEpisode]]:
+        """Still-exposed episodes, highest loss rate first (ties by link)."""
+        ordered = sorted(
+            self._exposed.items(),
+            key=lambda item: (-self._episodes[item[1]].loss_rate, item[0]),
+        )
+        return [(index, self._episodes[index]) for _, index in ordered]
+
+    # -- the arbitration loop ----------------------------------------------------
+
+    def run(self, episodes: List[CorruptionEpisode]) -> ControllerOutcome:
+        """Replay ``episodes`` (the fleet's merged timeline) to a verdict.
+
+        The event order — onsets and clears interleaved by ``(time,
+        link_id)``, clears first on ties so a repaired link frees budget
+        before a same-instant onset claims it — is what makes the outcome
+        independent of how episodes were sharded for generation.
+        """
+        self._episodes = episodes
+        events: List[Tuple[float, int, int, int]] = []
+        for index, episode in enumerate(episodes):
+            events.append((episode.onset_s, 1, episode.link_id, index))
+            events.append((episode.clear_s, 0, episode.link_id, index))
+        events.sort()
+
+        for time_s, kind, link_id, index in events:
+            episode = episodes[index]
+            link = self.topology.link(link_id)
+            if kind == 1:
+                link.corrupting = True
+                link.loss_rate = episode.loss_rate
+                self.policy.on_onset(self, link, episode, index)
+            else:
+                self._clear(link, episode, index)
+                self.policy.on_clear(self, link, episode, index)
+        return self.outcome
+
+    def _clear(self, link: FabricLink, episode: CorruptionEpisode,
+               index: int) -> None:
+        link.up = True
+        link.corrupting = False
+        link.loss_rate = 0.0
+        link.lg_enabled = False
+        link.speed_fraction = 1.0
+        self._active.pop(link.link_id, None)
+        self._exposed.pop(link.link_id, None)
+        if self._counters is not None:
+            self._lg_gauge.set(len(self._active))
+        self._close_segment(index, episode.clear_s)
+        if self._tracer.enabled:
+            self._tracer.instant(int(episode.clear_s * 1e9), "fleet", "clear", {
+                "link": link.link_id,
+            })
+
+    def effective_loss(self, loss_rate: float) -> float:
+        return lg_effective_loss_rate(loss_rate, self.config.lg_target_loss)

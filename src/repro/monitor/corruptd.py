@@ -28,21 +28,85 @@ __all__ = ["PubSubBus", "Corruptd", "CorruptionNotice"]
 
 
 class PubSubBus:
-    """Minimal in-process publish-subscribe bus (the Redis stand-in)."""
+    """Minimal in-process publish-subscribe bus (the Redis stand-in).
 
-    def __init__(self, sim: Simulator, delivery_delay_ns: int = 1_000_000) -> None:
+    Deliveries ride the simulator's event queue after ``delivery_delay_ns``;
+    at most ``max_pending`` may be in flight at once — beyond that the bus
+    drops, like a Redis client whose output buffer limit is hit.  Drops and
+    deliveries are counted and surfaced through the metrics registry when
+    an ``obs`` is supplied.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delivery_delay_ns: int = 1_000_000,
+        max_pending: int = 1024,
+        obs=None,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
         self.sim = sim
         self.delivery_delay_ns = delivery_delay_ns
+        self.max_pending = int(max_pending)
         self._subscribers: Dict[str, List[Callable]] = {}
+        self._pending = 0
         self.published = 0
+        self.delivered = 0
+        self.dropped = 0
+        if obs is not None:
+            obs.registry.register_provider("corruptd.bus", self.obs_snapshot)
+
+    def obs_snapshot(self) -> dict:
+        return {
+            "published": self.published,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "pending": self._pending,
+            "channels": len(self._subscribers),
+        }
+
+    @property
+    def pending(self) -> int:
+        """Messages scheduled but not yet handed to their callbacks."""
+        return self._pending
 
     def subscribe(self, channel: str, callback: Callable) -> None:
         self._subscribers.setdefault(channel, []).append(callback)
 
-    def publish(self, channel: str, message) -> None:
+    def unsubscribe(self, channel: str, callback: Callable) -> bool:
+        """Detach one subscription; True if it existed.
+
+        Messages already in flight to ``callback`` still deliver — like
+        the real bus, unsubscribing stops future fan-out, it does not
+        recall the wire.
+        """
+        callbacks = self._subscribers.get(channel)
+        if callbacks is None or callback not in callbacks:
+            return False
+        callbacks.remove(callback)
+        if not callbacks:
+            del self._subscribers[channel]
+        return True
+
+    def publish(self, channel: str, message) -> int:
+        """Fan out to the channel; returns how many deliveries were queued."""
         self.published += 1
+        queued = 0
         for callback in self._subscribers.get(channel, []):
-            self.sim.schedule(self.delivery_delay_ns, callback, message)
+            if self._pending >= self.max_pending:
+                self.dropped += 1
+                continue
+            self._pending += 1
+            self.sim.schedule(self.delivery_delay_ns, self._deliver,
+                              callback, message)
+            queued += 1
+        return queued
+
+    def _deliver(self, callback: Callable, message) -> None:
+        self._pending -= 1
+        self.delivered += 1
+        callback(message)
 
 
 @dataclass(frozen=True)

@@ -11,6 +11,7 @@ timestamp before export so traces stitched from several runs still load.
 from __future__ import annotations
 
 import json
+import math
 from typing import List, Optional
 
 from .metrics import MetricsRegistry
@@ -30,6 +31,7 @@ _CATEGORY_TIDS = {
     "lg.sender": 4,
     "lg.receiver": 5,
     "corruptd": 6,
+    "fleet": 7,
 }
 _DEFAULT_TID = 9
 
@@ -98,9 +100,26 @@ def write_jsonl(path: str, tracer: Tracer) -> str:
     return path
 
 
+def _json_safe(value):
+    """Replace non-finite floats with None so the file is strict JSON.
+
+    Snapshot providers with zero samples can roll up to NaN/Inf (0/0
+    rates etc.); ``json.dump`` would happily write ``NaN``, which most
+    parsers then reject.
+    """
+    if isinstance(value, dict):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
 def write_metrics_json(path: str, registry: MetricsRegistry) -> str:
     with open(path, "w") as handle:
-        json.dump(registry.snapshot(), handle, indent=2, sort_keys=True)
+        json.dump(_json_safe(registry.snapshot()), handle, indent=2,
+                  sort_keys=True, allow_nan=False)
     return path
 
 

@@ -21,6 +21,7 @@ nothing is double-counted.
 from __future__ import annotations
 
 from bisect import bisect_left
+from math import isfinite
 from typing import Callable, Dict, List, Sequence, Tuple
 
 __all__ = [
@@ -217,10 +218,15 @@ class MetricsRegistry:
         for name, provider in sorted(self._providers.items()):
             for key, value in _flatten(provider(), _sanitize(name)):
                 lines.append(f"{key} {value}")
-        return "\n".join(lines) + "\n"
+        # An empty registry (no metrics, no providers — or providers whose
+        # snapshots carried nothing numeric) exports as the empty string,
+        # not a lone newline.
+        return "\n".join(lines) + ("\n" if lines else "")
 
 
 def _sanitize(name: str) -> str:
+    if not name:
+        return "_"
     out = []
     for ch in name:
         out.append(ch if ch.isalnum() or ch == "_" else "_")
@@ -236,4 +242,8 @@ def _flatten(tree: dict, prefix: str):
         elif isinstance(value, bool):
             yield flat, int(value)
         elif isinstance(value, (int, float)):
+            # A rollup with zero samples divides into NaN/Inf; Python's
+            # repr of those is not valid exposition text, so skip them.
+            if isinstance(value, float) and not isfinite(value):
+                continue
             yield flat, value

@@ -214,6 +214,31 @@ def _run_incremental(spec: ExperimentSpec) -> CellResult:
     return _result(spec, rows[0])
 
 
+@register("fleet_shard")
+def _run_fleet_shard(spec: ExperimentSpec) -> CellResult:
+    """One shard of a fleet campaign: generate that link range's episodes.
+
+    ``spec.params`` carries the serialized campaign plus the shard index;
+    the fleet rollup (``repro.fleet.campaign.run_fleet_campaign``) merges
+    the shards' episode lists back into one timeline.
+    """
+    from ..fleet.campaign import FleetCampaignSpec, run_shard, shard_bounds
+
+    campaign = FleetCampaignSpec.from_dict(spec.params["campaign"])
+    shard = int(spec.params.get("shard", 0))
+    episodes = run_shard(campaign, shard)
+    lo, hi = shard_bounds(campaign.fleet.n_links, campaign.n_shards, shard)
+    metrics = {
+        "shard": shard,
+        "links_lo": lo,
+        "links_hi": hi,
+        "n_links": hi - lo,
+        "n_episodes": len(episodes),
+    }
+    return _result(spec, metrics,
+                   {"episodes": [e.to_dict() for e in episodes]})
+
+
 @register("fig01")
 def _run_fig01(spec: ExperimentSpec) -> CellResult:
     from ..experiments.figures import figure1_attenuation_series

@@ -66,6 +66,31 @@ class TestCli:
         assert parse_axis("lg.ordered=true,false") == (
             "lg.ordered", [True, False])
 
+    def test_fleet_runs_and_sharding_is_invisible(self, capsys):
+        import json
+
+        argv = ["fleet", "--fleet-pods", "1", "--fleet-tors", "4",
+                "--fleet-spines", "4", "--days", "10", "--seed", "3"]
+        assert main(argv + ["--json"]) == 0
+        serial = capsys.readouterr().out
+        data = json.loads(serial)
+        assert "affected_flow_fraction" in data["slos"]
+        assert "activations" in data["counts"]
+        # The acceptance bar: a sharded parallel run is byte-identical.
+        assert main(argv + ["--shards", "4", "--workers", "2", "--json"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_fleet_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--policy", "oracle"])
+
+    def test_fleet_human_output_has_slos(self, capsys):
+        assert main(["fleet", "--fleet-pods", "1", "--fleet-tors", "4",
+                     "--fleet-spines", "4", "--days", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 32 links" in out
+        assert "affected_flow_fraction" in out
+
     def test_every_command_registered_with_description(self):
         for name, (func, description) in COMMANDS.items():
             assert callable(func)

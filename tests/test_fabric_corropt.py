@@ -58,6 +58,56 @@ class TestTopology:
         assert topo.pod_capacity_fraction(0) == pytest.approx((31 + 0.92) / 32)
 
 
+class TestAdjacencyHelpers:
+    def test_links_for_tor_returns_all_uplinks(self):
+        topo = small_topology()
+        links = topo.links_for_tor(1, 3)
+        assert len(links) == topo.fabrics_per_pod
+        assert all(l.kind == "tor-fabric" and l.pod == 1 and l.tor == 3
+                   for l in links)
+        assert sorted(l.fabric for l in links) == list(range(topo.fabrics_per_pod))
+
+    def test_links_between_tor_and_fabric(self):
+        topo = small_topology()
+        links = topo.links_between(0, 5, 2)
+        assert len(links) == 1
+        link = links[0]
+        assert (link.pod, link.tor, link.fabric) == (0, 5, 2)
+        assert link in topo.links_for_tor(0, 5)
+
+    @pytest.mark.parametrize("pod,tor,fabric", [
+        (-1, 0, 0), (2, 0, 0),     # pod out of range
+        (0, -1, 0), (0, 8, 0),     # tor out of range
+        (0, 0, -1), (0, 0, 4),     # fabric out of range
+    ])
+    def test_links_between_rejects_out_of_range(self, pod, tor, fabric):
+        topo = small_topology()
+        with pytest.raises(ValueError):
+            topo.links_between(pod, tor, fabric)
+
+    def test_links_for_tor_rejects_out_of_range(self):
+        topo = small_topology()
+        with pytest.raises(ValueError):
+            topo.links_for_tor(0, topo.tors_per_pod)
+        with pytest.raises(ValueError):
+            topo.links_for_tor(topo.n_pods, 0)
+
+    def test_queries_validate_indices(self):
+        topo = small_topology()
+        with pytest.raises(ValueError):
+            topo.tor_paths(0, topo.tors_per_pod)
+        with pytest.raises(ValueError):
+            topo.pod_capacity_fraction(topo.n_pods)
+        with pytest.raises(ValueError):
+            topo.pod_min_tor_paths(-1)
+        with pytest.raises(ValueError):
+            topo.link(topo.n_links)
+        with pytest.raises(ValueError):
+            list(topo.pod_links(topo.n_pods))
+        with pytest.raises(ValueError):
+            topo.fabric_up_spine_links(0, topo.fabrics_per_pod)
+
+
 class TestFastChecker:
     def test_can_disable_when_healthy(self):
         topo = small_topology()

@@ -1,0 +1,180 @@
+"""Tests for sharded fleet campaigns: determinism, rollup, resume."""
+
+import json
+
+import pytest
+
+from repro.fleet.campaign import (
+    FleetCampaignSpec, run_fleet_campaign, run_shard, shard_bounds,
+    shard_sweep, unprotected_goodput_fraction,
+)
+from repro.fleet.controller import ControllerConfig
+from repro.fleet.topology import FleetSpec
+from repro.obs import Observability
+from repro.runner.cells import experiment_kinds
+
+
+def small_campaign(**overrides) -> FleetCampaignSpec:
+    """32-link fleet, short horizon: the CI smoke configuration."""
+    defaults = dict(
+        fleet=FleetSpec(n_pods=1, tors_per_pod=4, fabrics_per_pod=4,
+                        spine_uplinks=4, mttf_hours=300.0),
+        duration_days=20.0,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return FleetCampaignSpec(**defaults)
+
+
+class TestSpec:
+    def test_roundtrips_through_dict(self):
+        spec = small_campaign(policy="greedy-worst", n_shards=4,
+                              controller=ControllerConfig(activation_budget=8))
+        assert FleetCampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            small_campaign(policy="oracle")
+
+    def test_rejects_more_shards_than_links(self):
+        with pytest.raises(ValueError):
+            small_campaign(n_shards=1000)
+
+    def test_fleet_shard_kind_registered(self):
+        assert "fleet_shard" in experiment_kinds()
+
+
+class TestShardBounds:
+    def test_partition_is_exact_and_balanced(self):
+        n_links, n_shards = 37, 5
+        ranges = [shard_bounds(n_links, n_shards, s) for s in range(n_shards)]
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == n_links
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_out_of_range_shard_rejected(self):
+        with pytest.raises(ValueError):
+            shard_bounds(32, 4, 4)
+
+
+class TestShardDeterminism:
+    def test_shards_union_equals_serial(self):
+        serial = run_shard(small_campaign(), 0)
+        sharded = small_campaign(n_shards=4)
+        merged = [ep for s in range(4) for ep in run_shard(sharded, s)]
+        key = lambda e: (e.onset_s, e.link_id)  # noqa: E731
+        assert sorted(merged, key=key) == sorted(serial, key=key)
+
+    def test_sweep_has_one_cell_per_shard(self):
+        sweep = shard_sweep(small_campaign(n_shards=4))
+        assert len(list(sweep.cells())) == 4
+
+
+class TestCampaignRollup:
+    def test_slos_and_counts_present(self):
+        result = run_fleet_campaign(small_campaign())
+        for slo in ("affected_flow_fraction", "fleet_goodput_fraction",
+                    "p99_fct_inflation", "exposed_link_s",
+                    "protected_link_s", "disabled_link_s", "n_episodes"):
+            assert slo in result.slos
+        assert 0.0 <= result.slos["affected_flow_fraction"] <= 1.0
+        assert 0.0 < result.slos["fleet_goodput_fraction"] <= 1.0
+        assert result.counts["activations"] >= 0
+        assert set(result.series) == {
+            "activate_per_day", "blocked_per_day",
+            "disable_per_day", "preempt_per_day",
+        }
+        assert all(len(v) == 20 for v in result.series.values())
+
+    def test_policies_yield_different_outcomes(self):
+        # Tight budget: greedy preempts for worse links, incremental blocks.
+        tight = ControllerConfig(capacity_constraint=1.0, activation_budget=4)
+        incremental = run_fleet_campaign(
+            small_campaign(controller=tight, policy="incremental"))
+        greedy = run_fleet_campaign(
+            small_campaign(controller=tight, policy="greedy-worst"))
+        assert incremental.counts != greedy.counts
+
+    def test_protection_beats_exposure(self):
+        """With the controller pinned off (budget 0, no disables allowed),
+        every episode stays exposed; any working policy must do better on
+        affected flows."""
+        off = ControllerConfig(capacity_constraint=1.0, activation_budget=0)
+        exposed = run_fleet_campaign(small_campaign(controller=off))
+        protected = run_fleet_campaign(small_campaign(
+            controller=ControllerConfig(capacity_constraint=1.0)))
+        assert exposed.slos["exposed_link_s"] > 0
+        assert protected.slos["affected_flow_fraction"] < \
+            exposed.slos["affected_flow_fraction"]
+
+    def test_obs_rollup_provider_registered(self):
+        obs = Observability()
+        run_fleet_campaign(small_campaign(), obs=obs)
+        snap = obs.snapshot()
+        assert "affected_flow_fraction" in snap["fleet.rollup.incremental"]
+        assert "fleet.controller.incremental.disable" in snap
+
+
+class TestBitIdentity:
+    def test_same_seed_same_bytes(self):
+        a = run_fleet_campaign(small_campaign())
+        b = run_fleet_campaign(small_campaign())
+        assert a.canonical_json() == b.canonical_json()
+
+    def test_parallel_shards_match_serial_bytes(self):
+        serial = run_fleet_campaign(small_campaign())
+        parallel = run_fleet_campaign(small_campaign(n_shards=4), workers=4)
+        assert parallel.canonical_json() == serial.canonical_json()
+
+    def test_different_seed_different_result(self):
+        a = run_fleet_campaign(small_campaign(seed=3))
+        b = run_fleet_campaign(small_campaign(seed=4))
+        assert a.canonical_json() != b.canonical_json()
+
+    @pytest.mark.slow
+    def test_512_link_fleet_is_byte_identical(self):
+        campaign = FleetCampaignSpec(
+            fleet=FleetSpec(n_pods=8, mttf_hours=1000.0),
+            duration_days=10.0,
+            seed=7,
+        )
+        assert campaign.fleet.n_links == 512
+        a = run_fleet_campaign(campaign)
+        b = run_fleet_campaign(
+            FleetCampaignSpec.from_dict({**campaign.to_dict(),
+                                         "n_shards": 4}),
+            workers=4)
+        assert a.canonical_json() == b.canonical_json()
+
+    def test_canonical_json_is_valid_and_spec_complete(self):
+        result = run_fleet_campaign(small_campaign(n_shards=2))
+        data = json.loads(result.canonical_json())
+        assert set(data) == {"spec", "slos", "counts", "series"}
+        assert "n_shards" not in data["spec"]  # execution detail
+        assert data["spec"]["seed"] == 3
+
+
+class TestCheckpointResume:
+    def test_resume_skips_completed_shards(self, tmp_path):
+        campaign = small_campaign(n_shards=4)
+        checkpoint = str(tmp_path / "fleet.jsonl")
+        first = run_fleet_campaign(campaign, checkpoint=checkpoint)
+        with open(checkpoint) as fh:
+            assert len(fh.readlines()) == 4
+        resumed = run_fleet_campaign(campaign, checkpoint=checkpoint)
+        assert resumed.canonical_json() == first.canonical_json()
+
+
+class TestGoodputModel:
+    def test_clean_link_is_full_rate(self):
+        assert unprotected_goodput_fraction(0.0) == 1.0
+        assert unprotected_goodput_fraction(1e-9) == 1.0
+
+    def test_collapses_with_loss(self):
+        mild = unprotected_goodput_fraction(1e-5)
+        severe = unprotected_goodput_fraction(1e-3)
+        assert severe < mild <= 1.0
+        assert severe < 0.5

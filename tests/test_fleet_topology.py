@@ -1,0 +1,175 @@
+"""Tests for fleet topology generation and per-link corruption processes."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import RngFactory
+from repro.fleet.topology import (
+    CorruptionEpisode, FleetSpec, FleetTopology, link_episodes,
+    sample_affected_fraction, sample_profile,
+)
+
+
+class TestFleetSpec:
+    def test_link_count_matches_clos_arithmetic(self):
+        spec = FleetSpec(n_pods=3, tors_per_pod=8, fabrics_per_pod=4,
+                         spine_uplinks=8)
+        # per pod: 8*4 tor-fabric + 4*8 fabric-spine = 64
+        assert spec.n_links == 3 * 64
+
+    def test_512_link_fleet_shape(self):
+        spec = FleetSpec(n_pods=8, tors_per_pod=8, fabrics_per_pod=4,
+                         spine_uplinks=8)
+        assert spec.n_links == 512
+
+    def test_roundtrips_through_dict(self):
+        spec = FleetSpec(n_pods=2, loss_distribution="pareto",
+                         pareto_alpha=1.5)
+        assert FleetSpec.from_dict(spec.to_dict()) == spec
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            FleetSpec.from_dict({"n_pods": 2, "bogus": 1})
+
+    @pytest.mark.parametrize("overrides", [
+        {"n_pods": 0},
+        {"loss_distribution": "zipf"},
+        {"loss_floor": 0.0},
+        {"loss_floor": 1e-2, "loss_cap": 1e-3},
+        {"mean_burst_min": 0.5},
+        {"mean_burst_min": 3.0, "mean_burst_max": 2.0},
+    ])
+    def test_rejects_invalid_parameters(self, overrides):
+        with pytest.raises(ValueError):
+            FleetSpec(**overrides)
+
+
+class TestProfiles:
+    def test_profile_is_deterministic_per_link(self):
+        spec = FleetSpec()
+        a = sample_profile(spec, RngFactory(9), 17)
+        b = sample_profile(spec, RngFactory(9), 17)
+        assert a == b
+
+    def test_profiles_differ_across_links_and_seeds(self):
+        spec = FleetSpec()
+        base = sample_profile(spec, RngFactory(9), 17)
+        assert sample_profile(spec, RngFactory(9), 18) != base
+        assert sample_profile(spec, RngFactory(10), 17) != base
+
+    def test_loss_rates_heavy_tailed_within_bounds(self):
+        spec = FleetSpec()
+        factory = RngFactory(3)
+        rates = np.array([
+            sample_profile(spec, factory, link).loss_rate
+            for link in range(2_000)
+        ])
+        assert rates.min() >= spec.loss_floor
+        assert rates.max() <= spec.loss_cap
+        # Table 1: ~12.7% of corrupting links land in the 1e-3..1e-2 bucket.
+        assert 0.08 < (rates >= 1e-3).mean() < 0.18
+        # Heavy tail: the mean dwarfs the median.
+        assert rates.mean() > 10 * np.median(rates)
+
+    def test_pareto_distribution_selectable(self):
+        spec = FleetSpec(loss_distribution="pareto", pareto_alpha=1.2)
+        factory = RngFactory(3)
+        rates = np.array([
+            sample_profile(spec, factory, link).loss_rate
+            for link in range(2_000)
+        ])
+        assert rates.min() >= spec.loss_floor
+        assert rates.max() <= spec.loss_cap
+        # Right-skewed: rates spread over decades, mean well above median.
+        assert rates.max() > 100 * rates.min()
+        assert rates.mean() > 2 * np.median(rates)
+
+    def test_mean_burst_within_configured_range(self):
+        spec = FleetSpec(mean_burst_min=1.2, mean_burst_max=3.0)
+        factory = RngFactory(4)
+        bursts = [sample_profile(spec, factory, link).mean_burst
+                  for link in range(200)]
+        assert all(1.2 <= b <= 3.0 for b in bursts)
+
+
+class TestEpisodes:
+    def test_episodes_ordered_and_bounded(self):
+        spec = FleetSpec(mttf_hours=200.0)
+        duration = 30 * 86_400.0
+        episodes = link_episodes(spec, RngFactory(5), 3, duration)
+        assert episodes, "200h MTTF over 30 days should corrupt"
+        for ep in episodes:
+            assert 0 <= ep.onset_s < duration
+            assert ep.onset_s < ep.clear_s <= duration
+            assert spec.loss_floor <= ep.loss_rate <= spec.loss_cap
+        onsets = [ep.onset_s for ep in episodes]
+        assert onsets == sorted(onsets)
+        # Episodes of one link never overlap.
+        for prev, nxt in zip(episodes, episodes[1:]):
+            assert prev.clear_s <= nxt.onset_s
+
+    def test_episodes_independent_of_other_links(self):
+        """The shard-invariance property: a link's episodes depend only on
+        (seed, link_id), never on which other links were generated."""
+        spec = FleetSpec(mttf_hours=500.0)
+        duration = 60 * 86_400.0
+        alone = link_episodes(spec, RngFactory(7), 11, duration)
+        factory = RngFactory(7)
+        for other in range(11):
+            link_episodes(spec, factory, other, duration)
+        interleaved = link_episodes(spec, factory, 11, duration)
+        assert alone == interleaved
+
+    def test_episode_roundtrips_through_dict(self):
+        ep = CorruptionEpisode(link_id=4, onset_s=10.5, clear_s=99.25,
+                               loss_rate=3e-4, mean_burst=1.4,
+                               affected_fraction=0.125)
+        assert CorruptionEpisode.from_dict(ep.to_dict()) == ep
+
+
+class TestAffectedFraction:
+    def test_zero_loss_affects_nothing(self):
+        rng = np.random.default_rng(1)
+        assert sample_affected_fraction(rng, 0.0, 1.5, 100) == 0.0
+
+    def test_high_loss_affects_everything(self):
+        rng = np.random.default_rng(1)
+        assert sample_affected_fraction(
+            rng, 0.5, 1.0, 200, n_flows=64) == pytest.approx(1.0, abs=0.05)
+
+    def test_matches_iid_closed_form_when_bursts_are_single(self):
+        """mean_burst=1 makes Gilbert-Elliott i.i.d.; the empirical fraction
+        must then track 1-(1-p)^n."""
+        rng = np.random.default_rng(2)
+        p, n = 5e-3, 100
+        measured = sample_affected_fraction(rng, p, 1.0, n, n_flows=4_000)
+        expected = 1.0 - (1.0 - p) ** n
+        assert measured == pytest.approx(expected, rel=0.15)
+
+    def test_bursts_reduce_affected_flows(self):
+        """Clustering the same average loss into bursts must touch fewer
+        flows — the reason the model is empirical, not closed-form."""
+        p, n = 5e-3, 200
+        iid = sample_affected_fraction(
+            np.random.default_rng(3), p, 1.0, n, n_flows=4_000)
+        bursty = sample_affected_fraction(
+            np.random.default_rng(3), p, 4.0, n, n_flows=4_000)
+        assert bursty < iid
+
+
+class TestFleetTopology:
+    def test_extends_fabric_topology(self):
+        topo = FleetTopology(FleetSpec(n_pods=2, tors_per_pod=4,
+                                       spine_uplinks=4), seed=1)
+        assert topo.n_links == topo.spec.n_links
+        assert topo.pod_capacity_fraction(0) == 1.0
+        assert len(topo.links_for_tor(1, 2)) == 4
+
+    def test_profiles_cached_and_validated(self):
+        topo = FleetTopology(FleetSpec(n_pods=1, tors_per_pod=4,
+                                       spine_uplinks=4), seed=1)
+        assert topo.profile(0) is topo.profile(0)
+        with pytest.raises(ValueError):
+            topo.profile(topo.n_links)
+        with pytest.raises(ValueError):
+            topo.episodes_for(-1, 1000.0)

@@ -61,6 +61,94 @@ class TestCorruptd:
         assert daemon.window_loss_rate() is None
 
 
+class TestPubSubBus:
+    def _bus(self, **kwargs):
+        testbed = build_testbed(activate_loss_rate=None)
+        return testbed.sim, PubSubBus(testbed.sim, **kwargs)
+
+    def test_unsubscribe_stops_future_deliveries(self):
+        sim, bus = self._bus()
+        seen = []
+        bus.subscribe("ch", seen.append)
+        bus.publish("ch", "first")
+        assert bus.unsubscribe("ch", seen.append)
+        bus.publish("ch", "second")
+        sim.run(until=10_000_000)
+        assert seen == ["first"]
+        assert bus.delivered == 1
+
+    def test_unsubscribe_unknown_subscription_is_false(self):
+        _, bus = self._bus()
+        assert not bus.unsubscribe("ch", print)
+        bus.subscribe("ch", print)
+        assert not bus.unsubscribe("other", print)
+        assert bus.unsubscribe("ch", print)
+        assert not bus.unsubscribe("ch", print)  # already gone
+
+    def test_in_flight_message_survives_unsubscribe(self):
+        """Unsubscribing cannot recall a message already on the wire."""
+        sim, bus = self._bus()
+        seen = []
+        bus.subscribe("ch", seen.append)
+        bus.publish("ch", "sent")
+        bus.unsubscribe("ch", seen.append)
+        sim.run(until=10_000_000)
+        assert seen == ["sent"]
+
+    def test_pending_queue_bounded_and_drops_counted(self):
+        sim, bus = self._bus(max_pending=3)
+        seen = []
+        bus.subscribe("ch", seen.append)
+        for i in range(5):
+            bus.publish("ch", i)
+        assert bus.pending == 3
+        assert bus.dropped == 2
+        sim.run(until=10_000_000)
+        assert seen == [0, 1, 2]
+        assert bus.pending == 0
+        assert bus.delivered == 3
+        assert bus.published == 5
+
+    def test_delivery_frees_queue_slots(self):
+        sim, bus = self._bus(max_pending=1, delivery_delay_ns=1_000)
+        seen = []
+        bus.subscribe("ch", seen.append)
+        bus.publish("ch", "a")
+        sim.run(until=5_000)           # drains the slot
+        bus.publish("ch", "b")
+        sim.run(until=10_000)
+        assert seen == ["a", "b"]
+        assert bus.dropped == 0
+
+    def test_publish_reports_queued_fanout(self):
+        sim, bus = self._bus(max_pending=1)
+        bus.subscribe("ch", lambda m: None)
+        bus.subscribe("ch", lambda m: None)
+        assert bus.publish("ch", "x") == 1   # second fan-out dropped
+        assert bus.publish("nobody-home", "x") == 0
+        assert bus.dropped == 1
+
+    def test_rejects_nonpositive_max_pending(self):
+        testbed = build_testbed(activate_loss_rate=None)
+        with pytest.raises(ValueError):
+            PubSubBus(testbed.sim, max_pending=0)
+
+    def test_drop_counter_surfaced_through_obs(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        testbed = build_testbed(activate_loss_rate=None)
+        bus = PubSubBus(testbed.sim, max_pending=1, obs=obs)
+        bus.subscribe("ch", lambda m: None)
+        bus.publish("ch", "a")
+        bus.publish("ch", "b")
+        snap = obs.snapshot()["corruptd.bus"]
+        assert snap["published"] == 2
+        assert snap["dropped"] == 1
+        assert snap["pending"] == 1
+        assert snap["channels"] == 1
+
+
 class TestWharf:
     def test_code_rate(self):
         assert WharfFec(25, 1).code_rate == pytest.approx(25 / 26)

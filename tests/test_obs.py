@@ -177,6 +177,75 @@ class TestRegistry:
         assert "link_sw2__sw6_drops 2" in text
 
 
+class TestExporterHardening:
+    """Regression tests: zero-sample registries and label-less rollups."""
+
+    def test_empty_registry_exports_empty_string(self):
+        assert MetricsRegistry().prometheus_text() == ""
+
+    def test_provider_with_no_numeric_values_exports_nothing(self):
+        reg = MetricsRegistry()
+        reg.register_provider("idle", lambda: {"status": "ok", "notes": []})
+        assert reg.prometheus_text() == ""
+
+    def test_zero_sample_histogram_exports_zero_counts(self):
+        reg = MetricsRegistry()
+        reg.histogram("empty_ns", bounds=(10, 100))
+        text = reg.prometheus_text()
+        assert 'empty_ns_bucket{le="+Inf"} 0' in text
+        assert "empty_ns_count 0" in text
+        assert text.endswith("\n")
+
+    def test_nonfinite_rollup_values_skipped_in_prometheus(self):
+        reg = MetricsRegistry()
+        reg.register_provider("rollup", lambda: {
+            "rate": float("nan"),       # 0/0 from a zero-sample window
+            "peak": float("inf"),
+            "count": 0,
+        })
+        text = reg.prometheus_text()
+        assert "rollup_count 0" in text
+        assert "nan" not in text and "inf" not in text
+
+    def test_label_less_rollup_metric_flattens_to_bare_name(self):
+        # Fleet-style rollup: plain floats at the top provider level,
+        # no label nesting at all.
+        reg = MetricsRegistry()
+        reg.register_provider(
+            "fleet.rollup", lambda: {"affected_flow_fraction": 0.25})
+        assert "fleet_rollup_affected_flow_fraction 0.25" in reg.prometheus_text()
+
+    def test_pathological_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.register_provider("", lambda: {"": 1, "9lives": 2})
+        text = reg.prometheus_text()
+        for line in text.splitlines():
+            name = line.split(" ")[0]
+            assert name and not name[0].isdigit()
+
+    def test_metrics_json_scrubs_nonfinite_values(self, tmp_path):
+        from repro.obs import write_metrics_json
+
+        reg = MetricsRegistry()
+        reg.register_provider("rollup", lambda: {
+            "rate": float("nan"), "levels": [1.0, float("inf")], "n": 3})
+        path = tmp_path / "metrics.json"
+        write_metrics_json(str(path), reg)
+        snap = json.loads(path.read_text())  # must be strict JSON
+        assert snap["rollup"]["rate"] is None
+        assert snap["rollup"]["levels"] == [1.0, None]
+        assert snap["rollup"]["n"] == 3
+
+    def test_empty_tracer_exports_cleanly(self, tmp_path):
+        from repro.obs import events_to_jsonl, to_chrome_trace
+
+        tracer = Tracer(capacity=4)
+        assert events_to_jsonl(tracer) == ""
+        doc = to_chrome_trace(tracer, MetricsRegistry())
+        assert doc["traceEvents"] == []
+        assert doc["otherData"]["metrics"] == {}
+
+
 class TestExport:
     def _traced(self):
         tracer = Tracer(capacity=16)

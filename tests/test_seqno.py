@@ -70,6 +70,90 @@ def test_property_distance_matches_absolute_gap(start, gap):
     assert seq_compare(newer.value, newer.era, older.value, older.era) == expected
 
 
+class TestConcurrentLinkWraparound:
+    """Many links' counters crossing the 16-bit wrap in the same window.
+
+    A fleet activates LinkGuardian on many links at once; each link keeps
+    its own (seqNo, era) state.  These tests drive a population of
+    staggered counters through the wrap interleaved — advancing round-robin
+    the way concurrent senders would — and check every link's ordering
+    invariants hold throughout, independent of its neighbours.
+    """
+
+    N_LINKS = 64
+    WINDOW = 256  # in-flight packets per link (the Tx buffer bound)
+
+    def _staggered_counters(self):
+        """Counters placed so every link wraps inside the test window."""
+        return [
+            SeqCounter(value=SEQ_RANGE - 1 - (link * 7) % self.WINDOW,
+                       era=link % 2)
+            for link in range(self.N_LINKS)
+        ]
+
+    def test_all_links_cross_wrap_with_invariants_intact(self):
+        counters = self._staggered_counters()
+        # Oldest unacked (value, era) per link: the Tx buffer tail.
+        tails = [(c.value, c.era) for c in counters]
+        wrapped = [False] * self.N_LINKS
+        for step in range(2 * self.WINDOW):
+            for link, counter in enumerate(counters):
+                before_era = counter.era
+                assigned = counter.next()
+                if counter.era != before_era:
+                    wrapped[link] = True
+                tail_value, tail_era = tails[link]
+                gap = seq_distance(assigned.value, assigned.era,
+                                   tail_value, tail_era)
+                # Each link's head stays ahead of its own tail by exactly
+                # the number of packets it sent since the tail.
+                assert gap == step
+                if step > 0:
+                    assert seq_compare(assigned.value, assigned.era,
+                                       tail_value, tail_era) == 1
+        assert all(wrapped), "every staggered link must cross the wrap"
+
+    def test_links_wrap_independently(self):
+        """One link wrapping must not disturb any other link's state."""
+        counters = self._staggered_counters()
+        snapshots = [(c.value, c.era) for c in counters]
+        # Drive only link 0 through its wrap.
+        for _ in range(self.WINDOW):
+            counters[0].next()
+        assert counters[0].era != snapshots[0][1]
+        for link in range(1, self.N_LINKS):
+            assert (counters[link].value, counters[link].era) == snapshots[link]
+
+    def test_interleaving_order_does_not_matter(self):
+        """Round-robin vs link-at-a-time advancement lands every counter
+        in the same (value, era) state — counters share nothing."""
+        round_robin = self._staggered_counters()
+        sequential = self._staggered_counters()
+        steps = self.WINDOW + 13
+        for _ in range(steps):
+            for counter in round_robin:
+                counter.advance()
+        for counter in sequential:
+            for _ in range(steps):
+                counter.advance()
+        assert round_robin == sequential
+
+    def test_cross_wrap_window_comparisons_per_link(self):
+        """Inside one window that straddles the wrap, every pair of a
+        link's live seqnos compares by send order (valid while < N/2
+        apart)."""
+        counter = SeqCounter(value=SEQ_RANGE - 5, era=0)
+        window = [counter.next() for _ in range(10)]  # 5 old era, 5 new
+        assert {p.era for p in window} == {0, 1}
+        for i, older in enumerate(window):
+            for j, newer in enumerate(window):
+                expected = (i < j) - (i > j)  # sign of j - i
+                assert seq_compare(newer.value, newer.era,
+                                   older.value, older.era) == expected
+                assert seq_distance(newer.value, newer.era,
+                                    older.value, older.era) == j - i
+
+
 @given(st.integers(min_value=0, max_value=SEQ_RANGE - 1),
        st.integers(min_value=0, max_value=1))
 @settings(max_examples=100)
