@@ -1,0 +1,32 @@
+"""Protocol conformance checking for the LinkGuardian reproduction.
+
+The checker subsystem turns the paper's correctness claims into runtime
+monitors and drives them with adversarial loss schedules:
+
+* :mod:`repro.checker.invariants` — an :class:`InvariantChecker` that
+  attaches to one :class:`~repro.linkguardian.protocol.ProtectedLink`
+  through the existing observability hook points (tracer sink, link
+  taps, the receiver's delivery callback) and checks the §3.3/§3.5
+  invariant catalogue online plus at end of run.
+* :mod:`repro.checker.scenarios` — a declarative fault-scenario DSL
+  (targeted data/retx/dummy/control drops, link flaps, background
+  Gilbert–Elliott corruption, mid-stream NB switches) compiled onto the
+  :mod:`repro.phy.loss` interface, plus the self-contained two-switch
+  harness that runs one scenario under the checker.
+* :mod:`repro.checker.fuzz` — a seeded schedule fuzzer with
+  delta-debugging shrinking: a violating drop schedule is reduced to a
+  minimal reproducing set and emitted as a canonical-JSON artifact that
+  ``repro check replay`` reproduces byte-for-byte.
+"""
+
+from .fuzz import FuzzResult, ReplayResult, replay_artifact, run_fuzz, shrink_drops
+from .invariants import InvariantChecker, Violation
+from .scenarios import (
+    DEFECTS, CheckConfig, CheckOutcome, FaultScenario, run_scenario,
+)
+
+__all__ = [
+    "InvariantChecker", "Violation",
+    "CheckConfig", "CheckOutcome", "FaultScenario", "run_scenario", "DEFECTS",
+    "FuzzResult", "ReplayResult", "run_fuzz", "shrink_drops", "replay_artifact",
+]

@@ -1,0 +1,405 @@
+"""Runtime invariant monitors for one protected link.
+
+The :class:`InvariantChecker` is a passive observer: it attaches to the
+existing observability hook points — the tracer's live ``sink``, the
+:class:`~repro.switchsim.link.Link` taps, and the receiver's delivery
+callback — and never changes protocol behaviour.  It checks the paper's
+correctness claims while a scenario runs and again at :meth:`finalize`:
+
+``exactly-once``
+    No injected packet is delivered twice, in any mode, including across
+    era wraps (§3.5, "Handling seqNo Wrap-around") and across an
+    ordered → NB fallback switch.
+``ordered-delivery``
+    While the link runs in blocking mode, delivery order is strictly
+    increasing in injection order (Algorithm 1); gaps are allowed only
+    for surrendered packets.
+``buffer-bound``
+    The reordering-buffer occupancy never exceeds
+    ``pause_threshold_bytes`` plus the in-flight slack of the pause
+    control loop (Algorithm 2 / Appendix B.1), and never the configured
+    buffer capacity.
+``loss-accounting`` / ``lost-not-recovered``
+    Every corruption loss is either recovered by a retransmission or
+    surrendered via ackNoTimeout (§3.5); a surrender must be *explained*
+    by the fault schedule (all wire copies of the packet corrupted, a
+    control-packet loss, a reTxReqs overflow, or a buffer overflow) —
+    otherwise the protocol dropped a recoverable packet.
+``recovery-deadline``
+    A recovery happens within ``ack_no_timeout_ns`` of loss detection
+    (plus one timer-packet quantum).
+``retx-copies``
+    Each retransmission event injects exactly the Eq. 1–2 copy count N,
+    and the totals agree (§3.4).
+``pause-liveness``
+    Every pause span is eventually closed by a resume; nothing is left
+    paused when the run quiesces (no backpressure deadlock, §3.3).
+``buffer-leak``
+    The reordering buffer and the missing-seqNo table drain by the end
+    of the run (a stuck entry means a seqNo was miscompared).
+
+Violations are recorded as :class:`Violation` records, counted on the
+``checker.violations`` obs counter, and emitted as ``checker`` tracer
+instants so they land in Perfetto exports next to the events that caused
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..linkguardian.protocol import ProtectedLink
+from ..linkguardian.sender import LgSender
+from ..packets.packet import Packet, PacketKind
+from ..units import MTU_FRAME, bytes_in_time, serialization_ns
+
+__all__ = ["Violation", "InvariantChecker"]
+
+#: per-invariant cap on *recorded* Violation objects; the obs counter and
+#: the per-invariant totals keep counting past it (a broken run can fail
+#: the same way thousands of times — the artifact only needs a few).
+MAX_RECORDED_PER_INVARIANT = 8
+
+
+@dataclass
+class Violation:
+    """One observed invariant breach."""
+
+    invariant: str
+    time_ns: int
+    detail: Dict[str, object]
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "time_ns": self.time_ns,
+            "detail": {k: self.detail[k] for k in sorted(self.detail)},
+        }
+
+
+class InvariantChecker:
+    """Attach the invariant catalogue to one :class:`ProtectedLink`.
+
+    The harness must stamp every injected packet with
+    ``packet.meta["chk_index"]`` (its injection index) and route it
+    through :meth:`inject`; retransmitted copies inherit the stamp via
+    ``Packet.copy``, which is what lets the checker reason about
+    delivery identity after the LG header has been stripped.
+    """
+
+    def __init__(
+        self,
+        plink: ProtectedLink,
+        obs,
+        expected_copies: Optional[int] = None,
+        slack_bytes: Optional[int] = None,
+    ) -> None:
+        self.plink = plink
+        self.sim = plink.sim
+        self.config = plink.config
+        self.expected_copies = (
+            int(expected_copies) if expected_copies is not None
+            else plink.sender.n_copies
+        )
+        self.violations: List[Violation] = []
+        #: total breach count per invariant (not capped like the list)
+        self.counts: Dict[str, int] = {}
+
+        self._tracer = obs.tracer
+        self._violation_counter = obs.registry.counter("checker.violations")
+        obs.registry.register_provider("checker", self.obs_snapshot)
+
+        # -- observed state ------------------------------------------------
+        self.injected: Dict[int, int] = {}        # index -> inject time
+        self.delivered: Dict[int, int] = {}       # index -> delivery count
+        self._last_ordered_index = -1
+        self._wire_tx: Dict[int, int] = {}        # index -> frames on wire
+        self._wire_drops: Dict[int, int] = {}     # index -> frames corrupted
+        self.control_drops = 0                    # corrupted non-data frames
+        self._surrendered = 0                     # ack_no_timeout surrenders
+        #: indices neither delivered nor conclusively lost on the wire —
+        #: the protocol still owes the checker an outcome for these
+        self._pending: set = set()
+        self._open_pauses = {"lg.sender": 0, "lg.receiver": 0}
+        self.max_buffer_bytes = 0
+        self._buffer_cap = self._occupancy_cap(slack_bytes)
+
+        # -- hook attachment (chaining any pre-existing consumers) ---------
+        self._chained_sink = obs.tracer.sink
+        obs.tracer.sink = self._on_trace_event
+        plink.forward_link.tap = self._on_forward_frame
+        plink.reverse_link.tap = self._on_reverse_frame
+        plink.receiver.forward = self._on_delivery
+
+    # -- configuration ------------------------------------------------------
+
+    def _occupancy_cap(self, slack_bytes: Optional[int]) -> int:
+        """pause_threshold + in-flight slack of the pause control loop.
+
+        After the receiver sends a pause, data keeps arriving for one
+        control-loop round trip (the frame being serialized finishes,
+        the pause frame crosses the reverse wire and the sender's
+        pipeline, and everything already on the forward wire lands), and
+        the retransmission queue is never paused — so up to
+        ``max_consecutive_retx`` events of N copies each can still land
+        on top (§3.3/§3.5).
+        """
+        if slack_bytes is None:
+            plink = self.plink
+            mtu_ns = serialization_ns(MTU_FRAME, plink.rate_bps)
+            ctrl_ns = serialization_ns(
+                self.config.control_frame_bytes, plink.rate_bps)
+            loop_ns = (
+                2 * mtu_ns + ctrl_ns
+                + 2 * plink.forward_link.propagation_ns
+                + plink.sender_switch.pipeline_ns
+                + plink.receiver_switch.pipeline_ns
+            )
+            slack_bytes = bytes_in_time(loop_ns, plink.rate_bps) + (
+                self.config.max_consecutive_retx * self.expected_copies + 4
+            ) * MTU_FRAME
+        return self.config.pause_threshold_bytes + slack_bytes
+
+    def obs_snapshot(self) -> dict:
+        return {
+            "violations": sum(self.counts.values()),
+            "invariants_breached": len(self.counts),
+            "injected": len(self.injected),
+            "delivered": len(self.delivered),
+            "control_drops": self.control_drops,
+            "max_buffer_bytes": self.max_buffer_bytes,
+        }
+
+    # -- violation recording -------------------------------------------------
+
+    def _record(self, invariant: str, **detail) -> None:
+        self.counts[invariant] = self.counts.get(invariant, 0) + 1
+        self._violation_counter.inc()
+        if self._tracer.enabled:
+            self._tracer.instant(
+                self.sim.now, "checker", "violation",
+                {"invariant": invariant, **detail},
+            )
+        if self.counts[invariant] <= MAX_RECORDED_PER_INVARIANT:
+            self.violations.append(
+                Violation(invariant, self.sim.now, dict(detail)))
+
+    # -- harness-facing entry points ------------------------------------------
+
+    def inject(self, packet: Packet) -> None:
+        """Send one stamped data packet onto the protected egress."""
+        index = packet.meta["chk_index"]
+        self.injected[index] = self.sim.now
+        self._pending.add(index)
+        self.plink.sender.send(packet)
+
+    def _on_delivery(self, packet: Packet) -> None:
+        index = packet.meta.get("chk_index")
+        if index is None:
+            return
+        count = self.delivered.get(index, 0) + 1
+        self.delivered[index] = count
+        self._pending.discard(index)
+        if count > 1:
+            self._record("exactly-once", index=index, deliveries=count)
+            return
+        if self.config.ordered:
+            if index <= self._last_ordered_index:
+                self._record(
+                    "ordered-delivery",
+                    index=index, after_index=self._last_ordered_index,
+                )
+            else:
+                self._last_ordered_index = index
+
+    # -- link taps --------------------------------------------------------------
+
+    def _on_forward_frame(self, packet: Packet, corrupted: bool) -> None:
+        index = packet.meta.get("chk_index")
+        if index is not None and packet.lg is not None:
+            tx = self._wire_tx.get(index, 0) + 1
+            self._wire_tx[index] = tx
+            if corrupted:
+                self._wire_drops[index] = self._wire_drops.get(index, 0) + 1
+            if index not in self.delivered:
+                # Pending until delivered — unless every copy put on the
+                # wire so far was corrupted, in which case the protocol
+                # may legitimately surrender this index.
+                if self._wire_drops.get(index, 0) >= tx:
+                    self._pending.discard(index)
+                else:
+                    self._pending.add(index)
+        elif corrupted:
+            # dummy / unprotected frames: corruption of the tail-loss
+            # detector itself (§3.2)
+            self.control_drops += 1
+
+    def _on_reverse_frame(self, packet: Packet, corrupted: bool) -> None:
+        if corrupted:
+            self.control_drops += 1
+
+    # -- tracer sink ----------------------------------------------------------
+
+    def _on_trace_event(self, event) -> None:
+        try:
+            if event.category == "lg.receiver":
+                self._on_receiver_event(event)
+            elif (
+                event.category == "lg.sender"
+                and event.name == "retx_fire"
+                and event.args["copies"] != self.expected_copies
+            ):
+                self._record(
+                    "retx-copies",
+                    copies=event.args["copies"],
+                    expected=self.expected_copies,
+                    seq=event.args["seq"],
+                )
+            elif event.name == "pause" and event.category in self._open_pauses:
+                if event.phase == "B":
+                    self._open_pauses[event.category] += 1
+                elif event.phase == "E":
+                    self._open_pauses[event.category] -= 1
+        finally:
+            if self._chained_sink is not None:
+                self._chained_sink(event)
+
+    def _on_receiver_event(self, event) -> None:
+        if event.name == "rx_buffer_bytes":
+            depth = event.args["value"]
+            if depth > self.max_buffer_bytes:
+                self.max_buffer_bytes = depth
+            if depth > self.config.rx_buffer_capacity_bytes:
+                self._record(
+                    "buffer-bound", bytes=depth,
+                    cap=self.config.rx_buffer_capacity_bytes, kind="capacity",
+                )
+            elif (
+                self.config.ordered and self.config.backpressure
+                and depth > self._buffer_cap
+            ):
+                self._record(
+                    "buffer-bound", bytes=depth,
+                    cap=self._buffer_cap, kind="pause-slack",
+                )
+        elif event.name == "ack_no_timeout":
+            self._surrendered += 1
+        elif event.name == "recovered":
+            budget = self.config.ack_no_timeout_ns + self.config.timer_period_ns
+            if event.args["delay_ns"] > budget:
+                self._record(
+                    "recovery-deadline",
+                    delay_ns=event.args["delay_ns"], budget_ns=budget,
+                    seq=event.args["seq"],
+                )
+        elif event.name == "pause":
+            if event.phase == "B":
+                self._open_pauses["lg.receiver"] += 1
+            elif event.phase == "E":
+                self._open_pauses["lg.receiver"] -= 1
+
+    # -- end-of-run checks -------------------------------------------------------
+
+    def _surrender_explained(self, index: int) -> bool:
+        """Is never delivering ``index`` consistent with the fault schedule?"""
+        tx = self._wire_tx.get(index, 0)
+        if tx and self._wire_drops.get(index, 0) >= tx:
+            # The original and every retx copy were corrupted.  This also
+            # covers lost loss-notifications and dummies: they only ever
+            # suppress a retransmission of data that was itself corrupted.
+            return True
+        sender, receiver = self.plink.sender.stats, self.plink.receiver.stats
+        if sender.reqs_overflow:
+            return True  # burst longer than the reTxReqs registers (§3.5)
+        if receiver.overflow_drops:
+            return True  # reordering-buffer overflow (Figure 9b)
+        return False
+
+    def finalize(self) -> List[Violation]:
+        """Run the end-of-run checks; returns all recorded violations."""
+        sender, receiver = self.plink.sender, self.plink.receiver
+
+        expected_total = sender.stats.retx_events * self.expected_copies
+        if sender.stats.retx_copies != expected_total:
+            self._record(
+                "retx-copies",
+                copies=sender.stats.retx_copies, expected=expected_total,
+                events=sender.stats.retx_events,
+            )
+
+        if (
+            self._open_pauses["lg.sender"] > 0
+            or self._open_pauses["lg.receiver"] > 0
+            or sender.port.is_paused(LgSender.NORMAL_QUEUE)
+            or receiver._paused_sender
+        ):
+            self._record(
+                "pause-liveness",
+                open_sender=self._open_pauses["lg.sender"],
+                open_receiver=self._open_pauses["lg.receiver"],
+                port_paused=sender.port.is_paused(LgSender.NORMAL_QUEUE),
+            )
+
+        if receiver._buffer or receiver._missing:
+            self._record(
+                "buffer-leak",
+                buffered=len(receiver._buffer),
+                missing=len(receiver._missing),
+                buffer_bytes=receiver.buffer_bytes,
+            )
+
+        undelivered = [
+            index for index in sorted(self.injected)
+            if not self.delivered.get(index)
+        ]
+        unexplained = [
+            index for index in undelivered
+            if not self._surrender_explained(index)
+        ]
+        if unexplained:
+            self._record(
+                "lost-not-recovered",
+                count=len(unexplained),
+                first_indices=unexplained[:MAX_RECORDED_PER_INVARIANT],
+            )
+
+        # Loss accounting: distinct losses the receiver saw must balance
+        # against recoveries and surrenders (each lost seqNo leaves the
+        # missing table exactly one way).  Surrenders are counted from
+        # ack_no_timeout events: the ``timeouts`` stat also counts the
+        # overflow stall watchdog, which advances past seqNos that were
+        # never in the missing table.
+        stats = receiver.stats
+        accounted = stats.recovered + self._surrendered + len(receiver._missing)
+        if stats.loss_events != accounted:
+            self._record(
+                "loss-accounting",
+                loss_events=stats.loss_events,
+                recovered=stats.recovered,
+                surrendered=self._surrendered,
+                outstanding=len(receiver._missing),
+            )
+        return self.violations
+
+    # -- harness support ---------------------------------------------------------
+
+    def quiescent(self, settle_ns: int) -> bool:
+        """True once the protocol can make no further progress by itself.
+
+        Includes the sender's pause state: the receiver may have sent a
+        resume that is still serializing on the reverse link, and
+        stopping before it lands would misread an in-flight resume as a
+        pause-liveness violation.
+        """
+        receiver = self.plink.receiver
+        return (
+            self.sim.now >= settle_ns
+            and not self._pending
+            and not receiver._missing
+            and not receiver._buffer
+            and not receiver._paused_sender
+            and not self.plink.sender.port.is_paused(LgSender.NORMAL_QUEUE)
+            and self._open_pauses["lg.sender"] == 0
+            and self._open_pauses["lg.receiver"] == 0
+        )

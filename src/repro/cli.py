@@ -355,6 +355,16 @@ def _coerce_axis_value(text: str):
     return text
 
 
+def _usage_error(message: str) -> None:
+    """Invalid command-line arguments: complain on stderr, exit 2.
+
+    Mirrors argparse's own convention so every subcommand — ``check``,
+    ``sweep``, ``fleet`` — fails argument validation the same way.
+    """
+    sys.stderr.write(f"repro: error: {message}\n")
+    raise SystemExit(2)
+
+
 def parse_axis(text: str):
     """Parse one ``--axis field=v1,v2,...`` argument."""
     if "=" not in text:
@@ -372,7 +382,7 @@ def cmd_sweep(args) -> None:
     from .runner import ExperimentSpec, SweepRunner, SweepSpec, experiment_kinds
 
     if args.kind not in experiment_kinds():
-        raise SystemExit(
+        _usage_error(
             f"unknown --kind {args.kind!r}; known: {', '.join(experiment_kinds())}"
         )
     base = ExperimentSpec(
@@ -381,7 +391,10 @@ def cmd_sweep(args) -> None:
         loss_rate=args.loss_rate,
         seed=args.seed,
     )
-    axes = dict(parse_axis(text) for text in (args.axis or []))
+    try:
+        axes = dict(parse_axis(text) for text in (args.axis or []))
+    except ValueError as exc:
+        _usage_error(str(exc))
     sweep = SweepSpec(
         name=args.kind, base=base, axes=axes,
         seed=args.sweep_seed,
@@ -407,7 +420,7 @@ def cmd_fleet(args) -> None:
     )
 
     if args.policy not in POLICIES:
-        raise SystemExit(
+        _usage_error(
             f"unknown --policy {args.policy!r}; known: {', '.join(sorted(POLICIES))}"
         )
     campaign = FleetCampaignSpec(
@@ -493,6 +506,112 @@ def cmd_metrics(args) -> None:
     _emit(rows)
 
 
+def cmd_check(argv: List[str]) -> int:
+    """``repro check {run,fuzz,replay}`` — the conformance checker.
+
+    Has its own argument parser (the checker's knobs share nothing with
+    the figure experiments); invalid arguments exit 2 via argparse,
+    violations and replay mismatches exit 1.
+    """
+    from .checker import (
+        CheckConfig, DEFECTS, FaultScenario, replay_artifact, run_fuzz,
+        run_scenario,
+    )
+    from .checker.fuzz import canonical_json
+
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Protocol conformance checking: invariant monitors, "
+                    "fault scenarios, and a shrinking schedule fuzzer.",
+    )
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    fuzz_p = sub.add_parser("fuzz", help="random fault schedules + shrinking")
+    fuzz_p.add_argument("--seed", type=int, default=1)
+    fuzz_p.add_argument("--trials", type=int, default=50,
+                        help="random scenarios to run")
+    fuzz_p.add_argument("--defect", default=None, choices=sorted(DEFECTS),
+                        help="deliberate protocol break to fuzz against")
+    fuzz_p.add_argument("--no-shrink", action="store_true",
+                        help="skip ddmin shrinking of the first failure")
+    fuzz_p.add_argument("--shrink-out", default=None, metavar="PATH",
+                        help="write the shrunk counterexample artifact here")
+    fuzz_p.add_argument("--json", action="store_true")
+
+    run_p = sub.add_parser("run", help="run one scenario file")
+    run_p.add_argument("scenario", metavar="SCENARIO.json",
+                       help="JSON file with 'scenario' and optional 'config'")
+    run_p.add_argument("--json", action="store_true")
+
+    replay_p = sub.add_parser("replay", help="replay a counterexample artifact")
+    replay_p.add_argument("artifact", metavar="ARTIFACT.json")
+    replay_p.add_argument("--json", action="store_true")
+
+    args = parser.parse_args(argv)
+    global _JSON_MODE
+    _JSON_MODE = args.json
+
+    if args.mode == "fuzz":
+        base = CheckConfig(defect=args.defect)
+        result = run_fuzz(
+            seed=args.seed, trials=args.trials, base=base,
+            shrink=not args.no_shrink,
+        )
+        if args.shrink_out and result.artifact is not None:
+            with open(args.shrink_out, "w") as handle:
+                handle.write(canonical_json(result.artifact) + "\n")
+            if not _JSON_MODE:
+                _print(f"counterexample written to {args.shrink_out}")
+        if _JSON_MODE:
+            _print(json.dumps(result.to_dict(), default=_json_default))
+        else:
+            _print(f"fuzz: seed={result.seed} trials={result.trials} "
+                   f"runs={result.runs} "
+                   f"{'OK' if result.ok else f'{len(result.failures)} FAILING'}")
+            for failure in result.failures:
+                _print(f"  trial {failure['trial']}: {failure['counts']}")
+            if result.artifact is not None:
+                counts = result.artifact["counts"]
+                _print(f"  shrunk {counts['original_drops']} -> "
+                       f"{counts['shrunk_drops']} drop(s) in "
+                       f"{counts['shrink_runs']} runs")
+        return 0 if result.ok else 1
+
+    if args.mode == "run":
+        with open(args.scenario) as handle:
+            data = json.load(handle)
+        if "scenario" not in data:
+            _usage_error(f"{args.scenario}: no 'scenario' key")
+        scenario = FaultScenario.from_dict(data["scenario"])
+        config = CheckConfig.from_dict(data.get("config", {}))
+        outcome = run_scenario(scenario, config)
+        rows = [v.to_dict() for v in outcome.violations]
+        if _JSON_MODE:
+            _print(json.dumps(
+                {"ok": outcome.ok, "completed": outcome.completed,
+                 "counts": outcome.counts, "violations": rows},
+                default=_json_default))
+        else:
+            _print(f"scenario {scenario.name}: "
+                   f"{'OK' if outcome.ok else 'VIOLATIONS'} "
+                   f"(completed={outcome.completed})")
+            for row in rows:
+                _print(f"  {row['invariant']} @ {row['time_ns']}ns {row['detail']}")
+        return 0 if outcome.ok else 1
+
+    with open(args.artifact) as handle:
+        artifact = json.load(handle)
+    replay = replay_artifact(artifact)
+    if _JSON_MODE:
+        _print(json.dumps(replay.to_dict(), default=_json_default))
+    else:
+        _print(f"replay: byte_identical={replay.byte_identical} "
+               f"violations={sum(replay.outcome.counts.values())}")
+        if not replay.byte_identical:
+            _print("  stored and replayed artifacts differ")
+    return 0 if replay.byte_identical else 1
+
+
 COMMANDS = {
     "fig01": (cmd_fig01, "PLR vs optical attenuation per transceiver"),
     "fig02": (cmd_fig02, "flow-size CDFs of six datacenter workloads"),
@@ -521,6 +640,12 @@ COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "check":
+        # The checker has its own subcommand grammar (run/fuzz/replay);
+        # dispatch before the experiment parser sees the arguments.
+        return cmd_check(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Run LinkGuardian reproduction experiments.",
@@ -601,6 +726,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "list":
         rows = [{"experiment": name, "description": desc}
                 for name, (_, desc) in COMMANDS.items()]
+        rows.append({"experiment": "check",
+                     "description": "conformance checker: invariants, fault "
+                                    "scenarios, fuzzing ('repro check -h')"})
         _emit(rows)
         return 0
     command, _ = COMMANDS[args.experiment]

@@ -124,6 +124,12 @@ class LgReceiver:
         self._paused_sender = False
         self._delivered_retx = set()       # NB-mode de-duplication
         self._stall_key = None             # ackNo the stall watchdog is on
+        #: after an ordered->NB fallback, seqNos below this were already
+        #: delivered in ordered mode; stale in-flight retx copies of them
+        #: must not be delivered a second time.  Time-bounded (see
+        #: switch_to_non_blocking) so seqNo wrap can never confuse it.
+        self._nb_floor = None
+        self._nb_floor_expiry_ns = 0
         self.rx_occupancy = OccupancyTracker(sim.now)
 
         self._active = False
@@ -147,6 +153,13 @@ class LgReceiver:
         """Dormant receivers send nothing and cost nothing."""
         self._active = False
 
+    def seed_sequence(self, value: int, era: int = 0) -> None:
+        """Match a sender seeded at ``value`` (see ``LgSender.seed_sequence``)."""
+        if self.stats.delivered or self.stats.loss_events:
+            raise RuntimeError("seed_sequence after packets were received")
+        self._next_rx = SeqCounter(value, era)
+        self._ack_no = SeqCounter(value, era)
+
     def switch_to_non_blocking(self) -> None:
         """Runtime fallback to LinkGuardianNB (§5, "Automatic fallback").
 
@@ -158,15 +171,32 @@ class LgReceiver:
         if not self.config.ordered:
             return
         self.config.ordered = False
+        # Retx copies still in flight may duplicate seqNos the ordered
+        # path already delivered (they are not in _delivered_retx).  The
+        # frozen ackNo is the exactly-once floor for them; it expires
+        # once every pre-switch recovery must have resolved, so it can
+        # never miscompare against far-future (wrapped) seqNos.
+        self._nb_floor = (self._ack_no.value, self._ack_no.era)
+        self._nb_floor_expiry_ns = self.sim.now + 2 * self.config.ack_no_timeout_ns
         for key in sorted(self._buffer):
             packet = self._buffer.pop(key)
             self._buffer_bytes -= packet.size
+            # Remember the flushed seqNos: a straggler retx copy of one
+            # of them must be de-duplicated, not delivered again.
+            self._delivered_retx.add(key)
             self._deliver(packet)
         self.rx_occupancy.update(self.sim.now, 0)
         self._gave_up.clear()
         if self._paused_sender:
             self._paused_sender = False
             self.stats.resumes_sent += 1
+            if self._paused_at is not None:
+                if self._pause_hist is not None:
+                    self._pause_hist.observe(self.sim.now - self._paused_at)
+                self._paused_at = None
+            if self._tracer.enabled:
+                self._tracer.end(self.sim.now, "lg.receiver", "pause",
+                                 {"buffer_bytes": 0})
             self._send_control(self._control_packet(PacketKind.LG_RESUME))
 
     # -- helpers ----------------------------------------------------------------
@@ -303,6 +333,11 @@ class LgReceiver:
                 # Reordering-buffer overflow: the loss the transport sees
                 # when backpressure is disabled (Figure 9b).
                 self.stats.overflow_drops += 1
+                if self._tracer.enabled:
+                    self._tracer.instant(
+                        self.sim.now, "lg.receiver", "overflow_drop",
+                        {"seq": seqno, "era": era},
+                    )
                 return
             self._buffer[key] = packet
             self._buffer_update(packet.size)
@@ -359,6 +394,14 @@ class LgReceiver:
     def _non_blocking_deliver(self, packet: Packet, seqno: int, era: int) -> None:
         key = (era, seqno)
         if packet.lg.is_retx:
+            if self._nb_floor is not None:
+                if self.sim.now >= self._nb_floor_expiry_ns:
+                    self._nb_floor = None
+                elif seq_compare(seqno, era, *self._nb_floor) < 0:
+                    # Already delivered in ordered mode before the
+                    # fallback switch: a stale in-flight copy.
+                    self.stats.duplicates_dropped += 1
+                    return
             # First useful retx copy is delivered (out of order); later
             # copies of the same seqNo are de-duplicated.
             if not self._claim_retx(key):
@@ -409,6 +452,10 @@ class LgReceiver:
         self._stall_key = None
         if key == self._key(self._ack_no) and self._buffer:
             self.stats.timeouts += 1
+            if self._tracer.enabled:
+                self._tracer.instant(self.sim.now, "lg.receiver",
+                                     "stall_advance",
+                                     {"seq": key[1], "era": key[0]})
             self._ack_no.advance()
             self._drain()
 

@@ -138,6 +138,19 @@ class LgSender:
         """Stop protecting new packets (corruptd turned LinkGuardian off)."""
         self._active = False
 
+    def seed_sequence(self, value: int, era: int = 0) -> None:
+        """Start the seqNo space at ``value`` instead of 0.
+
+        Conformance-check scenarios use this to place a run right before
+        the 16-bit wrap so the era-bit machinery (§3.5) is exercised in a
+        few hundred packets instead of 65k.  Must be called before any
+        packet is stamped; the receiver must be seeded to match.
+        """
+        if self.stats.protected:
+            raise RuntimeError("seed_sequence after packets were stamped")
+        self._seq = SeqCounter(value, era)
+        self._acked_next = (value, era)
+
     def activate(self, n_copies: Optional[int] = None) -> None:
         if n_copies is not None:
             self.n_copies = max(1, int(n_copies))

@@ -28,7 +28,14 @@ __all__ = ["AutoFallback"]
 
 
 class AutoFallback:
-    """Watches one protected link and demotes its mode under heavy loss."""
+    """Watches one protected link and demotes its mode under heavy loss.
+
+    Demotions are debounced: a target mode must be confirmed by
+    ``confirm_windows`` consecutive polls before it is applied, so a
+    windowed loss estimate oscillating around ``nb_threshold`` or
+    ``disable_threshold`` does not trigger a demotion off one outlier
+    window (demotions are one-way, so a spurious one is never undone).
+    """
 
     MODES = ("ordered", "non-blocking", "off")
 
@@ -40,17 +47,27 @@ class AutoFallback:
         window_frames: int = 20_000,
         nb_threshold: float = 5e-3,
         disable_threshold: float = 5e-2,
+        confirm_windows: int = 2,
     ) -> None:
         if not 0 < nb_threshold < disable_threshold:
             raise ValueError("need 0 < nb_threshold < disable_threshold")
+        if confirm_windows < 1:
+            raise ValueError("confirm_windows must be >= 1")
         self.sim = sim
         self.plink = plink
         self.poll_interval_ns = int(poll_interval_ns)
         self.window_frames = int(window_frames)
         self.nb_threshold = nb_threshold
         self.disable_threshold = disable_threshold
+        #: hysteresis: a demotion fires only after this many *consecutive*
+        #: polls agree on the same (or a worse) target mode, so a loss
+        #: estimate oscillating around a threshold cannot demote on a
+        #: single noisy window.
+        self.confirm_windows = int(confirm_windows)
         self.transitions: List[tuple] = []  # (time_ns, from_mode, to_mode)
         self._snapshots: deque = deque()
+        self._pending_target: Optional[str] = None
+        self._pending_count = 0
         self._running = False
 
     @property
@@ -103,7 +120,27 @@ class AutoFallback:
         # repair workflows).
         order = {"ordered": 0, "non-blocking": 1, "off": 2}
         if order[target] <= order[current]:
+            self._pending_target = None
+            self._pending_count = 0
             return
+        # Debounce: demand confirm_windows consecutive windows asking for
+        # this demotion.  A harsher window counts as confirmation of the
+        # pending (milder) target but is only applied once confirmed on
+        # its own — demotions are one-way, so a single outlier window
+        # must never jump straight to a harsher mode.
+        if (
+            self._pending_target is not None
+            and order[target] >= order[self._pending_target]
+        ):
+            self._pending_count += 1
+            target = self._pending_target
+        else:
+            self._pending_count = 1
+            self._pending_target = target
+        if self._pending_count < self.confirm_windows:
+            return
+        self._pending_target = None
+        self._pending_count = 0
         if target == "non-blocking":
             self.plink.receiver.switch_to_non_blocking()
         elif target == "off":

@@ -28,9 +28,15 @@ class TraceEvent(NamedTuple):
 
 
 class Tracer:
-    """Fixed-capacity ring of :class:`TraceEvent`; oldest entries overwritten."""
+    """Fixed-capacity ring of :class:`TraceEvent`; oldest entries overwritten.
 
-    __slots__ = ("enabled", "capacity", "_ring", "_head", "emitted")
+    ``sink`` is the live-observation hook: when set to a callable it
+    receives every emitted event *before* it can be overwritten by ring
+    wrap-around.  Runtime monitors (``repro.checker``) attach here so an
+    invariant check never depends on the ring being large enough.
+    """
+
+    __slots__ = ("enabled", "capacity", "_ring", "_head", "emitted", "sink")
 
     def __init__(self, capacity: int = 1 << 16, enabled: bool = True) -> None:
         if enabled and capacity <= 0:
@@ -40,6 +46,7 @@ class Tracer:
         self._ring: List[Optional[TraceEvent]] = [None] * self.capacity
         self._head = 0          # next write slot
         self.emitted = 0        # total emits, including overwritten ones
+        self.sink = None        # optional callable(TraceEvent)
 
     @property
     def dropped(self) -> int:
@@ -50,9 +57,12 @@ class Tracer:
              phase: str = "i", args: Optional[dict] = None) -> None:
         if not self.enabled:
             return
-        self._ring[self._head] = TraceEvent(ts, category, name, phase, args)
+        event = TraceEvent(ts, category, name, phase, args)
+        self._ring[self._head] = event
         self._head = (self._head + 1) % self.capacity
         self.emitted += 1
+        if self.sink is not None:
+            self.sink(event)
 
     # convenience wrappers (call sites read better; all funnel into emit)
 

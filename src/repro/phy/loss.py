@@ -17,6 +17,7 @@ corrupted (and therefore dropped by the receiving MAC)?
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 import numpy as np
@@ -105,16 +106,24 @@ class GilbertElliottLoss(LossProcess):
         mean_burst: float = 1.35,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
-        if not 0.0 < rate < 1.0:
-            raise ValueError("rate must be in (0,1) for Gilbert-Elliott")
-        if mean_burst < 1.0:
-            raise ValueError("mean burst length must be >= 1 packet")
+        if not math.isfinite(rate) or not 0.0 < rate < 1.0:
+            raise ValueError(
+                f"rate must be in (0,1) for Gilbert-Elliott, got {rate}"
+            )
+        if not math.isfinite(mean_burst) or mean_burst < 1.0:
+            raise ValueError(
+                f"mean burst length must be >= 1 packet, got {mean_burst}"
+            )
         self.rate = float(rate)
         self.mean_burst = float(mean_burst)
         self._p_bg = 1.0 / mean_burst
         self._p_gb = rate * self._p_bg / (1.0 - rate)
-        if self._p_gb > 1.0:
-            raise ValueError("infeasible (rate, mean_burst) combination")
+        if not 0.0 <= self._p_gb <= 1.0 or not 0.0 <= self._p_bg <= 1.0:
+            raise ValueError(
+                f"infeasible (rate={rate}, mean_burst={mean_burst}): derived "
+                f"transition probabilities p_gb={self._p_gb:g}, "
+                f"p_bg={self._p_bg:g} must lie in [0,1]"
+            )
         self._rng = rng if rng is not None else _default_stream("gilbert-elliott")
         self._bad = False
 
@@ -136,7 +145,22 @@ class ScriptedLoss(LossProcess):
     """
 
     def __init__(self, drop_indices) -> None:
-        self.drop_indices = set(drop_indices)
+        indices = list(drop_indices)
+        seen = set()
+        for index in indices:
+            if isinstance(index, bool) or not isinstance(index, (int, np.integer)):
+                raise ValueError(
+                    f"drop index must be an integer, got {index!r}"
+                )
+            if index < 0:
+                raise ValueError(f"drop index must be >= 0, got {index}")
+            if index in seen:
+                raise ValueError(
+                    f"duplicate drop index {index}: each frame index can "
+                    f"only be dropped once"
+                )
+            seen.add(int(index))
+        self.drop_indices = seen
         self.rate = 0.0
         self._index = -1
 

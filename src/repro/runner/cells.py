@@ -239,6 +239,57 @@ def _run_fleet_shard(spec: ExperimentSpec) -> CellResult:
                    {"episodes": [e.to_dict() for e in episodes]})
 
 
+@register("checker")
+def _run_checker(spec: ExperimentSpec) -> CellResult:
+    """Conformance checking as a runner cell.
+
+    With ``spec.params["scenario"]`` present, runs that one fault
+    scenario under the invariant checker; otherwise fuzzes
+    ``spec.n_trials`` random scenarios from ``spec.seed``.  Base config
+    tweaks ride in ``spec.params["check"]``; ``spec.lg`` overrides the
+    LinkGuardian config either way.
+    """
+    from ..checker.fuzz import run_fuzz
+    from ..checker.scenarios import CheckConfig, FaultScenario, run_scenario
+
+    check = dict(spec.params.get("check", {}))
+    if spec.lg:
+        check["lg"] = {**check.get("lg", {}), **spec.lg}
+    check.setdefault("rate_gbps", spec.rate_gbps)
+    base = CheckConfig.from_dict(check)
+
+    if "scenario" in spec.params:
+        scenario = FaultScenario.from_dict(spec.params["scenario"])
+        base.seed = spec.seed
+        outcome = run_scenario(scenario, base)
+        metrics = {
+            "ok": outcome.ok,
+            "completed": outcome.completed,
+            "violations": sum(outcome.counts.values()),
+            "invariants_breached": len(outcome.counts),
+            "n_copies": outcome.n_copies,
+        }
+        series = {"violations": [v.to_dict() for v in outcome.violations]}
+        return _result(spec, metrics, series)
+
+    fuzz = run_fuzz(
+        seed=spec.seed,
+        trials=spec.n_trials,
+        base=base,
+        shrink=bool(spec.params.get("shrink", True)),
+    )
+    metrics = {
+        "ok": fuzz.ok,
+        "trials": fuzz.trials,
+        "failures": len(fuzz.failures),
+        "runs": fuzz.runs,
+    }
+    series = {"failures": fuzz.failures}
+    if fuzz.artifact is not None:
+        series["artifact"] = [fuzz.artifact]
+    return _result(spec, metrics, series)
+
+
 @register("fig01")
 def _run_fig01(spec: ExperimentSpec) -> CellResult:
     from ..experiments.figures import figure1_attenuation_series

@@ -1,0 +1,161 @@
+"""Tests for the conformance checker: invariants, scenarios, defects."""
+
+import pytest
+
+from repro.checker import CheckConfig, DEFECTS, FaultScenario, run_scenario
+from repro.obs import Observability
+from repro.packets.seqno import SEQ_RANGE
+
+
+def drops(*atoms):
+    return [{"kind": kind, "index": index} for kind, index in atoms]
+
+
+class TestFaultScenarioDsl:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown drop kind"):
+            FaultScenario(drops=drops(("warp", 0)))
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultScenario(drops=drops(("data", -1)))
+
+    def test_rejects_duplicate_drop(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultScenario(drops=drops(("data", 3), ("data", 3)))
+
+    def test_roundtrips_through_dict(self):
+        scenario = FaultScenario(
+            name="rt", drops=drops(("data", 1), ("notif", 0)),
+            flaps=[{"at_frame": 10, "frames": 3}],
+            ge={"rate": 5e-4, "mean_burst": 1.35}, nb_switch_ns=9_000,
+        )
+        assert FaultScenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_with_drops_replaces_schedule_only(self):
+        scenario = FaultScenario(
+            drops=drops(("data", 1), ("data", 2)), nb_switch_ns=5_000)
+        reduced = scenario.with_drops([("data", 2)])
+        assert reduced.drop_atoms() == [("data", 2)]
+        assert reduced.nb_switch_ns == 5_000
+        assert scenario.drop_atoms() == [("data", 1), ("data", 2)]
+
+
+class TestConformantRuns:
+    """The real protocol should satisfy every invariant under faults."""
+
+    def test_clean_run_no_violations(self):
+        outcome = run_scenario(FaultScenario(), CheckConfig(n_packets=100))
+        assert outcome.ok
+        assert outcome.completed
+        assert outcome.stats["delivered_unique"] == 100
+
+    def test_loss_burst_recovers_in_order(self):
+        scenario = FaultScenario(
+            drops=drops(("data", 3), ("data", 50), ("data", 51)))
+        outcome = run_scenario(scenario, CheckConfig(n_packets=100))
+        assert outcome.ok
+        assert outcome.stats["receiver"]["recovered"] == 3
+        assert outcome.stats["delivered_unique"] == 100
+
+    def test_era_wrap_crossing_is_clean(self):
+        scenario = FaultScenario(drops=drops(("data", 45), ("data", 49)))
+        outcome = run_scenario(
+            scenario, CheckConfig(n_packets=200, seq_start=SEQ_RANGE - 50))
+        assert outcome.ok
+        assert outcome.stats["delivered_unique"] == 200
+
+    def test_nb_mode_with_losses(self):
+        scenario = FaultScenario(drops=drops(("data", 10), ("data", 11)))
+        outcome = run_scenario(
+            scenario, CheckConfig(n_packets=150, ordered=False))
+        assert outcome.ok
+
+    def test_mid_stream_nb_switch(self):
+        scenario = FaultScenario(
+            drops=drops(("data", 20), ("data", 21)), nb_switch_ns=10_000)
+        outcome = run_scenario(scenario, CheckConfig(n_packets=200))
+        assert outcome.ok
+
+    def test_violations_surface_in_obs(self):
+        obs = Observability()
+        scenario = FaultScenario(drops=drops(("data", 10)))
+        outcome = run_scenario(
+            scenario, CheckConfig(n_packets=100, defect="wrong_copies"),
+            obs=obs)
+        assert not outcome.ok
+        assert obs.registry.get("checker.violations").value == \
+            sum(outcome.counts.values())
+        names = [e.name for e in obs.tracer.events()
+                 if e.category == "checker"]
+        assert "violation" in names
+
+
+class TestDefectsAreCaught:
+    """Each deliberate protocol break must breach its invariant."""
+
+    def test_defect_names_are_stable(self):
+        assert sorted(DEFECTS) == [
+            "era_bit", "no_dedup", "no_pause", "no_resume", "wrong_copies"]
+
+    def test_unknown_defect_rejected(self):
+        with pytest.raises(ValueError, match="unknown defect"):
+            run_scenario(FaultScenario(), CheckConfig(defect="nope"))
+
+    def test_era_bit_defect_loses_the_stream_at_wrap(self):
+        scenario = FaultScenario(drops=drops(("data", 49)))
+        outcome = run_scenario(scenario, CheckConfig(
+            n_packets=200, seq_start=SEQ_RANGE - 50, defect="era_bit"))
+        assert "lost-not-recovered" in outcome.counts
+        # The same single drop is fully recovered with the era bit intact.
+        clean = run_scenario(scenario, CheckConfig(
+            n_packets=200, seq_start=SEQ_RANGE - 50))
+        assert clean.ok
+
+    def test_era_bit_defect_restores_module_state(self):
+        from repro.linkguardian import receiver as receiver_module
+        from repro.packets.seqno import seq_compare
+
+        run_scenario(FaultScenario(drops=drops(("data", 49))), CheckConfig(
+            n_packets=120, seq_start=SEQ_RANGE - 50, defect="era_bit"))
+        assert receiver_module.seq_compare is seq_compare
+
+    def test_no_resume_defect_wedges_the_sender(self):
+        scenario = FaultScenario(
+            drops=drops(*[("data", i) for i in range(5, 10)]))
+        outcome = run_scenario(scenario, CheckConfig(
+            n_packets=300, defect="no_resume",
+            lg={"resume_threshold_bytes": 2_000}))
+        assert "pause-liveness" in outcome.counts
+        assert not outcome.completed
+
+    def test_no_pause_defect_overruns_the_buffer_bound(self):
+        scenario = FaultScenario(drops=drops(("data", 5)))
+        outcome = run_scenario(scenario, CheckConfig(
+            n_packets=300, defect="no_pause",
+            lg={"resume_threshold_bytes": 2_000}))
+        assert "buffer-bound" in outcome.counts
+
+    def test_no_dedup_defect_delivers_twice_in_nb(self):
+        scenario = FaultScenario(drops=drops(("data", 5)))
+        outcome = run_scenario(scenario, CheckConfig(
+            n_packets=100, ordered=False, defect="no_dedup"))
+        assert "exactly-once" in outcome.counts
+
+    def test_wrong_copies_defect_breaks_eq2_provisioning(self):
+        scenario = FaultScenario(drops=drops(("data", 10)))
+        outcome = run_scenario(
+            scenario, CheckConfig(n_packets=100, defect="wrong_copies"))
+        assert "retx-copies" in outcome.counts
+
+    def test_violation_list_is_capped_but_counts_are_not(self):
+        from repro.checker.invariants import MAX_RECORDED_PER_INVARIANT
+
+        scenario = FaultScenario(drops=drops(("data", 5)))
+        outcome = run_scenario(scenario, CheckConfig(
+            n_packets=200, ordered=False, defect="no_dedup",
+            loss_rate_hint=2e-3))
+        recorded = [v for v in outcome.violations
+                    if v.invariant == "exactly-once"]
+        assert len(recorded) <= MAX_RECORDED_PER_INVARIANT
+        assert outcome.counts["exactly-once"] >= len(recorded)

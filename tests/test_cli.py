@@ -153,3 +153,110 @@ class TestCliObservability:
         text = metrics.read_text()
         assert "# TYPE" in text
         capsys.readouterr()
+
+
+class TestCheckCommand:
+    """``repro check {run,fuzz,replay}`` and its exit-code contract."""
+
+    def test_fuzz_clean_exits_zero(self, capsys):
+        import json
+
+        assert main(["check", "fuzz", "--seed", "7", "--trials", "5",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert data["trials"] == 5
+
+    def test_fuzz_with_defect_exits_one_and_shrinks(self, capsys, tmp_path):
+        import json
+
+        out_path = str(tmp_path / "repro.json")
+        assert main(["check", "fuzz", "--seed", "7", "--trials", "10",
+                     "--defect", "era_bit", "--shrink-out", out_path,
+                     "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False
+        assert data["artifact"]["counts"]["shrunk_drops"] <= 5
+        with open(out_path) as handle:
+            stored = json.load(handle)
+        assert stored == data["artifact"]
+
+    def test_run_scenario_file(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps({
+            "scenario": {"name": "t", "drops": [
+                {"kind": "data", "index": 3}]},
+            "config": {"n_packets": 80},
+        }))
+        assert main(["check", "run", str(path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+
+    def test_run_scenario_with_violation_exits_one(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps({
+            "scenario": {"name": "t", "drops": [
+                {"kind": "data", "index": 3}]},
+            "config": {"n_packets": 80, "defect": "wrong_copies"},
+        }))
+        assert main(["check", "run", str(path), "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert "retx-copies" in data["counts"]
+
+    def test_replay_stored_artifact(self, capsys):
+        import json
+        from pathlib import Path
+
+        artifact = Path(__file__).parent / "data" / "checker_era_bit_repro.json"
+        assert main(["check", "replay", str(artifact), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["byte_identical"] is True
+
+    def test_run_rejects_file_without_scenario(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "run", str(path)])
+        assert excinfo.value.code == 2
+
+
+class TestUsageErrorExitCodes:
+    """Invalid arguments exit 2 across every subcommand, like argparse."""
+
+    def test_check_unknown_mode_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "bogus"])
+        assert excinfo.value.code == 2
+
+    def test_check_no_mode_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check"])
+        assert excinfo.value.code == 2
+
+    def test_check_unknown_defect_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "fuzz", "--defect", "nope"])
+        assert excinfo.value.code == 2
+
+    def test_sweep_unknown_kind_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--kind", "bogus"])
+        assert excinfo.value.code == 2
+
+    def test_sweep_malformed_axis_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--kind", "fct", "--axis", "badaxis"])
+        assert excinfo.value.code == 2
+
+    def test_fleet_unknown_policy_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--policy", "oracle"])
+        assert excinfo.value.code == 2
+
+    def test_check_listed_in_list_output(self, capsys):
+        assert main(["list"]) == 0
+        assert "check" in capsys.readouterr().out

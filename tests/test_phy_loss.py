@@ -70,3 +70,41 @@ def test_bernoulli_bursts_are_mostly_single():
 @settings(max_examples=20, deadline=None)
 def test_property_bernoulli_rate_attribute(rate):
     assert BernoulliLoss(rate, _rng()).rate == rate
+
+
+def test_gilbert_elliott_rejects_non_finite_and_out_of_range():
+    for bad_rate in (float("nan"), float("inf"), -0.01, 1.0, 1.5):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(bad_rate)
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(0.01, mean_burst=float("nan"))
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(0.01, mean_burst=float("inf"))
+
+
+def test_gilbert_elliott_rejects_invalid_derived_transitions():
+    # rate high enough that p_gb = rate/(1-rate)/burst leaves [0, 1].
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(0.9, mean_burst=1.0)
+
+
+def test_scripted_loss_drops_exactly_the_listed_frames():
+    from repro.phy.loss import ScriptedLoss
+
+    process = ScriptedLoss({0, 3})
+    hits = [process.corrupts() for _ in range(6)]
+    assert hits == [True, False, False, True, False, False]
+    assert process.frames_seen == 6
+
+
+def test_scripted_loss_rejects_bad_indices():
+    from repro.phy.loss import ScriptedLoss
+
+    with pytest.raises(ValueError):
+        ScriptedLoss([-1])
+    with pytest.raises(ValueError):
+        ScriptedLoss([2, 2])
+    with pytest.raises(ValueError):
+        ScriptedLoss([1.5])
+    with pytest.raises(ValueError):
+        ScriptedLoss([True])

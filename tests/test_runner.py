@@ -95,8 +95,20 @@ class TestRunCell:
 
     def test_known_kinds_registered(self):
         assert {"fct", "goodput", "multihop", "stress", "timeline",
-                "rdma_reorder", "deployment", "incremental"} \
+                "rdma_reorder", "deployment", "incremental", "checker"} \
             <= set(experiment_kinds())
+
+    def test_checker_cell_fuzzes_and_runs_scenarios(self):
+        fuzz = run_cell(ExperimentSpec(kind="checker", n_trials=4, seed=7))
+        assert fuzz.metrics["ok"]
+        assert fuzz.metrics["runs"] == 4
+        scenario = run_cell(ExperimentSpec(kind="checker", seed=1, params={
+            "scenario": {"drops": [{"kind": "data", "index": 3}]},
+            "check": {"n_packets": 80},
+        }))
+        assert scenario.metrics["ok"]
+        assert scenario.metrics["completed"]
+        assert scenario.metrics["violations"] == 0
 
     def test_accepts_spec_dict(self):
         spec = ExperimentSpec(kind="fct", scenario="noloss", n_trials=5)
