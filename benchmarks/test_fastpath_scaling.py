@@ -1,0 +1,85 @@
+"""Fastpath scaling: cells/sec of the analytic backend vs the packet engine.
+
+The acceptance bar for the fastpath subsystem: on a >= 1000-cell grid the
+vectorized backend clears >= 100x the packet engine's cells/sec.  The
+packet rate is measured on a small sample of the same grid (running all
+1000 cells through the engine is exactly what fastpath exists to avoid);
+the fastpath rate is measured on the full grid through the SweepRunner
+batch path, so the number includes spec grouping and result packing, not
+just the NumPy kernel.
+"""
+
+import time
+
+from _report import emit, header, save_json, table
+
+from repro.runner import ExperimentSpec, SweepRunner, SweepSpec
+from repro.runner.cells import run_cell
+
+SPEEDUP_FLOOR = 100.0
+PACKET_SAMPLE = 8
+
+SWEEP = SweepSpec(
+    name="fastpath-scaling",
+    base=ExperimentSpec(kind="fct", flow_size=1460, n_trials=150,
+                        loss_rate=1e-3, backend="fastpath"),
+    axes={
+        "transport": ["dctcp", "rdma"],
+        "scenario": ["noloss", "loss", "lg", "lgnb"],
+        "flow_size": [1, 143, 1460, 14600, 24387],
+        "loss_rate": [1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 3e-3, 5e-3,
+                      7e-3, 1e-2, 1.5e-2, 2e-2, 2.5e-2, 3e-2],
+        "rate_gbps": [25.0, 100.0],
+    },
+    seed=13,
+)
+
+
+def test_fastpath_100x_cells_per_sec(benchmark):
+    cells = SWEEP.cells()
+    assert len(cells) >= 1000, f"grid has only {len(cells)} cells"
+
+    def _run():
+        t0 = time.perf_counter()
+        results = SweepRunner(SWEEP).run()
+        t_fast = time.perf_counter() - t0
+
+        sample = cells[:: max(1, len(cells) // PACKET_SAMPLE)][:PACKET_SAMPLE]
+        t0 = time.perf_counter()
+        for spec in sample:
+            run_cell(spec.with_(backend="packet"))
+        t_packet = time.perf_counter() - t0
+        return results, t_fast, len(sample), t_packet
+
+    results, t_fast, n_sample, t_packet = benchmark.pedantic(
+        _run, rounds=1, iterations=1)
+
+    fast_rate = len(results) / t_fast
+    packet_rate = n_sample / t_packet
+    speedup = fast_rate / packet_rate
+
+    header(f"Fastpath scaling — {len(results)} cells "
+           f"(packet sampled on {n_sample})")
+    rows = [
+        {"backend": "fastpath", "cells": len(results),
+         "wall_s": round(t_fast, 4), "cells_per_s": round(fast_rate, 1)},
+        {"backend": "packet", "cells": n_sample,
+         "wall_s": round(t_packet, 4), "cells_per_s": round(packet_rate, 1)},
+    ]
+    table(rows, ["backend", "cells", "wall_s", "cells_per_s"])
+    emit(f"speedup {speedup:.0f}x (floor {SPEEDUP_FLOOR:.0f}x)")
+    save_json("fastpath_scaling", {
+        "n_cells": len(results),
+        "packet_sample": n_sample,
+        "fastpath_wall_s": t_fast,
+        "packet_wall_s": t_packet,
+        "fastpath_cells_per_s": fast_rate,
+        "packet_cells_per_s": packet_rate,
+        "speedup": speedup,
+        "speedup_floor": SPEEDUP_FLOOR,
+    })
+
+    assert all(r.backend == "fastpath" for r in results)
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fastpath only {speedup:.1f}x the packet engine "
+        f"({fast_rate:.0f} vs {packet_rate:.1f} cells/s)")

@@ -3,11 +3,15 @@
 from .classify import FlowClassification, classify_flows
 from .export import export_results, write_csv, write_dat
 from .report import format_value, render_table
-from .stats import OccupancyTracker, cdf_points, percentile, tail_percentiles
+from .stats import (
+    OccupancyTracker, cdf_at, cdf_points, percentile, percentiles,
+    tail_percentiles,
+)
 
 __all__ = [
     "FlowClassification", "classify_flows",
     "export_results", "write_csv", "write_dat",
     "format_value", "render_table",
-    "OccupancyTracker", "cdf_points", "percentile", "tail_percentiles",
+    "OccupancyTracker", "cdf_at", "cdf_points", "percentile",
+    "percentiles", "tail_percentiles",
 ]

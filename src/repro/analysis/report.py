@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
+import numpy as np
+
 __all__ = ["format_value", "render_table", "histogram_rows", "cell_rows"]
 
 
@@ -68,19 +70,23 @@ def histogram_rows(snapshot: dict, unit_divisor: float = 1.0,
     rescales the native-ns bounds (1e3 -> us).
     """
     total = snapshot.get("count", 0)
-    rows: List[dict] = []
-    previous = 0
-    for bound, cumulative in snapshot.get("buckets", {}).items():
-        in_bucket = cumulative - previous
-        previous = cumulative
-        if cumulative == 0 or (in_bucket == 0 and cumulative == total):
-            continue
-        rows.append({
-            f"le_{unit}": bound / unit_divisor,
-            "count": in_bucket,
-            "cum": cumulative,
-            "cdf_%": round(100.0 * cumulative / total, 3) if total else 0.0,
-        })
+    buckets = snapshot.get("buckets", {})
+    bounds = np.fromiter(buckets.keys(), dtype=np.float64, count=len(buckets))
+    cumulative = np.fromiter(
+        buckets.values(), dtype=np.int64, count=len(buckets))
+    in_bucket = np.diff(cumulative, prepend=0)
+    keep = (cumulative > 0) & ~((in_bucket == 0) & (cumulative == total))
+    cdf = (np.round(100.0 * cumulative / total, 3)
+           if total else np.zeros_like(bounds))
+    rows: List[dict] = [
+        {
+            f"le_{unit}": float(bounds[i] / unit_divisor),
+            "count": int(in_bucket[i]),
+            "cum": int(cumulative[i]),
+            "cdf_%": float(cdf[i]),
+        }
+        for i in np.flatnonzero(keep)
+    ]
     overflow = snapshot.get("overflow", 0)
     if overflow:
         rows.append({

@@ -5,6 +5,9 @@
   buffer-usage whiskers are time-weighted percentiles of exactly this.
 * :func:`percentile` / :func:`cdf_points` — plain empirical percentiles
   and CDF series for FCT plots.
+* :func:`percentiles` / :func:`cdf_at` — the vectorized forms: one sort,
+  one NumPy call, arrays in and arrays out.  The scalar helpers and the
+  report tables are built on these.
 """
 
 from __future__ import annotations
@@ -13,7 +16,10 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["OccupancyTracker", "percentile", "cdf_points", "tail_percentiles"]
+__all__ = [
+    "OccupancyTracker", "percentile", "percentiles", "cdf_points",
+    "cdf_at", "tail_percentiles",
+]
 
 
 class OccupancyTracker:
@@ -57,42 +63,56 @@ class OccupancyTracker:
         values, weights = self._arrays()
         return float(np.average(values, weights=weights))
 
-    def time_weighted_percentile(self, q: float) -> float:
-        """Value below which the signal sat for ``q`` percent of the time."""
+    def time_weighted_percentiles(self, qs: Sequence[float]) -> np.ndarray:
+        """Values below which the signal sat for each ``q`` percent of the
+        time — one sort and one searchsorted for the whole batch."""
         values, weights = self._arrays()
         order = np.argsort(values)
         values, weights = values[order], weights[order]
         cum = np.cumsum(weights)
-        cutoff = q / 100.0 * cum[-1]
-        index = int(np.searchsorted(cum, cutoff))
-        return float(values[min(index, len(values) - 1)])
+        cutoffs = np.asarray(qs, dtype=np.float64) / 100.0 * cum[-1]
+        indices = np.minimum(np.searchsorted(cum, cutoffs), len(values) - 1)
+        return values[indices]
+
+    def time_weighted_percentile(self, q: float) -> float:
+        """Value below which the signal sat for ``q`` percent of the time."""
+        return float(self.time_weighted_percentiles([q])[0])
 
     def summary(self) -> dict:
+        p25, p50, p75 = self.time_weighted_percentiles([25, 50, 75])
         return {
             "mean": self.time_weighted_mean(),
-            "p25": self.time_weighted_percentile(25),
-            "p50": self.time_weighted_percentile(50),
-            "p75": self.time_weighted_percentile(75),
+            "p25": float(p25),
+            "p50": float(p50),
+            "p75": float(p75),
             "max": float(self.max_value),
         }
 
 
+def percentiles(values: Sequence[float], qs: Sequence[float]) -> np.ndarray:
+    """Empirical percentiles for a batch of cuts: array in, array out.
+
+    One ``np.percentile`` call over all requested quantiles (shared
+    sort); empty input yields a NaN per cut.
+    """
+    cuts = np.asarray(qs, dtype=np.float64)
+    if len(values) == 0:
+        return np.full(cuts.shape, np.nan)
+    return np.percentile(np.asarray(values, dtype=np.float64), cuts)
+
+
 def percentile(values: Sequence[float], q: float) -> float:
     """Empirical percentile (linear interpolation), NaN-safe for empty input."""
-    if len(values) == 0:
-        return float("nan")
-    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+    return float(percentiles(values, [q])[0])
+
+
+TAIL_CUTS = (50.0, 99.0, 99.9, 99.99, 99.999)
 
 
 def tail_percentiles(values: Sequence[float]) -> dict:
     """The tail cuts the paper tabulates (Table 2 and the FCT text)."""
-    return {
-        "p50": percentile(values, 50),
-        "p99": percentile(values, 99),
-        "p99.9": percentile(values, 99.9),
-        "p99.99": percentile(values, 99.99),
-        "p99.999": percentile(values, 99.999),
-    }
+    cut_values = percentiles(values, TAIL_CUTS)
+    return {f"p{q:g}": float(v) for q, v in zip(TAIL_CUTS, cut_values)}
 
 
 def cdf_points(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
@@ -102,3 +122,16 @@ def cdf_points(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
         return data, data
     fractions = np.arange(1, data.size + 1, dtype=np.float64) / data.size
     return data, fractions
+
+
+def cdf_at(values: Sequence[float], thresholds: Sequence[float]) -> np.ndarray:
+    """Empirical CDF evaluated at each threshold: P(value <= t).
+
+    Vectorized (one sort, one searchsorted); empty input yields NaN per
+    threshold.
+    """
+    cuts = np.asarray(thresholds, dtype=np.float64)
+    data = np.sort(np.asarray(values, dtype=np.float64))
+    if data.size == 0:
+        return np.full(cuts.shape, np.nan)
+    return np.searchsorted(data, cuts, side="right") / data.size

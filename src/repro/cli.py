@@ -390,6 +390,7 @@ def cmd_sweep(args) -> None:
         n_trials=args.trials,
         loss_rate=args.loss_rate,
         seed=args.seed,
+        backend=args.backend,
     )
     try:
         axes = dict(parse_axis(text) for text in (args.axis or []))
@@ -423,6 +424,8 @@ def cmd_fleet(args) -> None:
         _usage_error(
             f"unknown --policy {args.policy!r}; known: {', '.join(sorted(POLICIES))}"
         )
+    from .obs import Observability
+
     campaign = FleetCampaignSpec(
         fleet=FleetSpec(
             n_pods=args.fleet_pods,
@@ -436,6 +439,8 @@ def cmd_fleet(args) -> None:
         duration_days=args.days,
         seed=args.seed,
         n_shards=args.shards,
+        backend=args.backend,
+        resim_fraction=args.resim_fraction,
     )
 
     def progress(result) -> None:
@@ -443,9 +448,13 @@ def cmd_fleet(args) -> None:
             _print(f"[{result.cell_id}] {result.metrics['n_episodes']} episodes "
                    f"in {result.wall_s:.2f}s")
 
+    # The campaign publishes its summary through the metrics registry;
+    # make sure one exists even without --trace-out/--metrics-out.
+    obs = args.obs if args.obs is not None else Observability()
+    args.obs = obs
     result = run_fleet_campaign(
         campaign, workers=args.workers, checkpoint=args.checkpoint,
-        obs=args.obs, progress=progress,
+        obs=obs, progress=progress,
     )
     if _JSON_MODE:
         # The canonical form: byte-identical across runs and shardings.
@@ -454,6 +463,10 @@ def cmd_fleet(args) -> None:
         _print(f"fleet: {campaign.fleet.n_links} links, "
                f"{campaign.duration_days:g} days, policy={campaign.policy}, "
                f"{campaign.n_shards} shard(s)")
+        summary = obs.registry.snapshot().get("fleet.campaign.summary", {})
+        _print("campaign: " + ", ".join(
+            f"{key}={value}" for key, value in summary.items()
+            if key != "backend_mix"))
         _emit([result.summary()])
 
 
@@ -504,6 +517,95 @@ def cmd_metrics(args) -> None:
                     rows.append({"metric": f"{name}.{key}",
                                  "kind": "stat", "value": round(value, 6)})
     _emit(rows)
+
+
+def cmd_fastpath(argv: List[str]) -> int:
+    """``repro fastpath {scan,validate}`` — the analytic backend.
+
+    ``scan`` sweeps a grid entirely on the vectorized models (the cheap
+    wide pass of a two-tier campaign); ``validate`` runs a matched grid
+    on both backends and compares metric by metric — tolerance failures
+    exit 1, argument errors exit 2.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro fastpath",
+        description="Vectorized analytic backend: wide scans and "
+                    "cross-validation against the packet engine.",
+    )
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    scan_p = sub.add_parser("scan", help="sweep a grid on the analytic models")
+    scan_p.add_argument("--kind", default="fct",
+                        help="experiment kind of the base spec "
+                             "(fct | goodput | stress)")
+    scan_p.add_argument("--axis", action="append", metavar="FIELD=V1,V2",
+                        help="one axis of the grid (repeatable)")
+    scan_p.add_argument("--trials", type=int, default=1_000)
+    scan_p.add_argument("--loss-rate", type=float, default=5e-3)
+    scan_p.add_argument("--seed", type=int, default=1)
+    scan_p.add_argument("--sweep-seed", type=int, default=None,
+                        help="derive deterministic per-cell seeds")
+    scan_p.add_argument("--json", action="store_true")
+
+    val_p = sub.add_parser("validate",
+                           help="matched grid on both backends + comparison")
+    val_p.add_argument("--cells", type=int, default=200,
+                       help="approximate grid size")
+    val_p.add_argument("--seed", type=int, default=1)
+    val_p.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the packet cells")
+    val_p.add_argument("--out", default=None, metavar="PATH",
+                       help="write the full report JSON here")
+    val_p.add_argument("--json", action="store_true")
+
+    args = parser.parse_args(argv)
+    global _JSON_MODE
+    _JSON_MODE = args.json
+
+    if args.mode == "scan":
+        from .analysis.report import cell_rows
+        from .fastpath import FASTPATH_KINDS
+        from .runner import ExperimentSpec, SweepRunner, SweepSpec
+
+        if args.kind not in FASTPATH_KINDS:
+            _usage_error(f"--kind {args.kind!r} has no fastpath model; "
+                         f"known: {', '.join(FASTPATH_KINDS)}")
+        base = ExperimentSpec(
+            kind=args.kind, n_trials=args.trials, loss_rate=args.loss_rate,
+            seed=args.seed, backend="fastpath",
+        )
+        try:
+            axes = dict(parse_axis(text) for text in (args.axis or []))
+        except ValueError as exc:
+            _usage_error(str(exc))
+        sweep = SweepSpec(name=f"fastpath-{args.kind}", base=base, axes=axes,
+                          seed=args.sweep_seed)
+        results = SweepRunner(sweep).run()
+        _emit(cell_rows(results))
+        return 0
+
+    from .fastpath import run_validation
+    from .fastpath.validate import write_report
+
+    def progress(spec, fast, packet) -> None:
+        if not _JSON_MODE:
+            _print(f"[{spec.cell_id()}] packet {packet.wall_s:.2f}s")
+
+    report = run_validation(n_cells=args.cells, seed=args.seed,
+                            workers=args.workers, progress=progress)
+    if args.out:
+        write_report(report, args.out)
+    if _JSON_MODE:
+        _print(json.dumps(report.to_dict(), default=_json_default))
+    else:
+        _emit(report.rows())
+        _print(f"{'OK' if report.ok else 'FAIL'}: {report.n_cells} cells, "
+               f"packet {report.packet_wall_s:.1f}s vs fastpath "
+               f"{report.fastpath_wall_s:.4f}s")
+        for failure in report.failures():
+            _print(f"  {failure.metric}: max_rel_err {failure.max_err:.3f} "
+                   f"> tol {failure.tolerance}")
+    return 0 if report.ok else 1
 
 
 def cmd_check(argv: List[str]) -> int:
@@ -646,6 +748,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         # The checker has its own subcommand grammar (run/fuzz/replay);
         # dispatch before the experiment parser sees the arguments.
         return cmd_check(argv[1:])
+    if argv and argv[0] == "fastpath":
+        # Same pattern: scan/validate have their own grammar.
+        return cmd_fastpath(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Run LinkGuardian reproduction experiments.",
@@ -677,6 +782,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "Prometheus text with a .prom extension)")
     parser.add_argument("--kind", default="fct",
                         help="sweep: experiment kind of the base spec")
+    parser.add_argument("--backend", default="packet",
+                        choices=["packet", "fastpath"],
+                        help="sweep: execution backend for every cell "
+                             "(fastpath = vectorized analytic models)")
     parser.add_argument("--axis", action="append", metavar="FIELD=V1,V2",
                         help="sweep: one axis of the grid (repeatable); "
                              "FIELD is a spec field or params.X / lg.X")
@@ -707,6 +816,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--activation-budget", type=int, default=64,
                         help="fleet: max concurrent LinkGuardian "
                              "activations fleet-wide")
+    parser.add_argument("--resim-fraction", type=float, default=0.05,
+                        help="fleet: with --backend fastpath, the worst "
+                             "fraction of episodes re-simulated with the "
+                             "packet sampler")
     parser.add_argument("--resume-kb", type=float, default=2.0,
                         help="fig09 backpressure resume threshold in KB, "
                              "scaled down like the phase durations so "
@@ -729,6 +842,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         rows.append({"experiment": "check",
                      "description": "conformance checker: invariants, fault "
                                     "scenarios, fuzzing ('repro check -h')"})
+        rows.append({"experiment": "fastpath",
+                     "description": "analytic backend: wide scans + "
+                                    "cross-validation ('repro fastpath -h')"})
         _emit(rows)
         return 0
     command, _ = COMMANDS[args.experiment]

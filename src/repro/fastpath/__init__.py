@@ -1,0 +1,33 @@
+"""Vectorized analytic backend: whole evaluation grids in one NumPy call.
+
+The packet-level engine reproduces LinkGuardian mechanism-by-mechanism
+but pays per-packet event cost; ``repro.fastpath`` evaluates the same
+evaluation-grid cells from the paper's closed forms instead — effective
+loss under N-copy retransmission (Eqs. 1–2 with the era-bit /
+consecutive-loss correction), the recovery-latency distribution, an
+M/D/1-style reordering-buffer and pause/resume model (§3.3), goodput
+overhead, and a DCTCP-style analytic FCT model — batched over arrays of
+thousands of cells at once.
+
+Three entry points:
+
+* :func:`~repro.fastpath.backend.run_fastpath_cell` /
+  :func:`~repro.fastpath.backend.evaluate_specs` — the runner backend
+  (``ExperimentSpec(backend="fastpath")`` dispatches here);
+* :func:`~repro.fastpath.validate.run_validation` — the cross-validation
+  harness: matched grids on both backends, per-metric relative-error
+  distributions, loud failure beyond the documented tolerances;
+* :mod:`~repro.fastpath.model` / :mod:`~repro.fastpath.fct` — the raw
+  vectorized primitives, for direct use (the fleet layer's wide scans).
+
+See DESIGN.md "Fastpath analytic backend" for the equations, the stated
+assumptions, and the known divergence regimes.
+"""
+
+from .backend import FASTPATH_KINDS, evaluate_specs, run_fastpath_cell
+from .validate import ValidationReport, default_grid, run_validation
+
+__all__ = [
+    "FASTPATH_KINDS", "evaluate_specs", "run_fastpath_cell",
+    "ValidationReport", "default_grid", "run_validation",
+]

@@ -1,0 +1,296 @@
+"""Analytic transport models: FCT quantiles and CUBIC goodput.
+
+The FCT model is the closed-form twin of
+:func:`repro.experiments.fct.run_fct_experiment` (§4.3 methodology):
+
+* clean FCT — exact wire arithmetic.  One request/data/ACK exchange
+  costs ``4*stack + 2*PATH_FIXED + 3*ser(data) + 3*ser(ack)`` (the data
+  frame crosses host link, inter-switch link, host link; the testbed's
+  two switches add three pipeline passes per direction).  TCP flows
+  slow-start from a 10-segment initial window doubling per round; RDMA
+  streams the whole message back to back.
+* loss scenarios — a mixture over discrete penalty levels: unprotected
+  mid-flow loss recovers in ~1 base RTT (fast retransmit / NAK),
+  unprotected tail loss pays the 1 ms RTO floor, LinkGuardian recovery
+  costs the link-local ReTx delay (Figure 19).  Quantiles walk the
+  mixture's CDF, which is exactly what the packet engine's empirical
+  percentiles converge to.
+
+All functions broadcast over cell arrays; ``transport`` is a scalar
+per call (the grid layer groups cells by transport).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..units import MTU_FRAME
+from .model import (
+    effective_speed_fraction, interp_log_loss, recovery_latency_ns,
+    retx_copies, ser_ns,
+)
+
+__all__ = [
+    "base_fct_ns", "fct_quantiles_us", "affected_expected",
+    "goodput_gbps", "FCT_QUANTILES",
+]
+
+#: host-stack traversal per direction per host (engine: tcp_host 6 us,
+#: rdma_host 1 us); one exchange crosses four stacks.
+STACK_NS = {"tcp": 6_000.0, "rdma": 1_000.0}
+#: propagation (2x 500 ns host links + 100 ns inter-switch) plus three
+#: 400 ns switch-pipeline passes, per direction.
+PATH_FIXED_NS = 2_300.0
+
+TCP_HEADER_BYTES = 58
+TCP_ACK_BYTES = 70
+TCP_MSS = 1_460
+TCP_INIT_WINDOW = 10
+
+RDMA_HEADER_BYTES = 78
+RDMA_ACK_BYTES = 78
+RDMA_MTU = 1_440
+
+#: the engine's minimum RTO (1 ms floor) — the tail-loss penalty.
+RTO_NS = 1_000_000.0
+#: segments at the flow tail whose loss cannot be repaired by dupacks:
+#: only the final segment (nothing after it generates dupacks); losses
+#: before it recover via fast retransmit.  Matches the engine's
+#: Figure 11 mixture: p99 sits at the fast-retx level, p99.9 at RTO.
+TCP_TAIL_SEGS = 1
+
+FCT_QUANTILES = (50.0, 99.0, 99.9, 99.99)
+
+#: fraction of loss-touched multi-segment LG_NB flows whose reordering
+#: surfaces as TCP-visible dupack retransmissions (calibrated: Figure 13
+#: classifies the rest as absorbed by the reordering tolerance).
+LGNB_VISIBLE_FRACTION = 0.8
+
+#: CUBIC goodput calibration (10G, 2.5 MB transfers, Table 3 scale).
+#: Slow-start plus one congestion epoch cost ~1.7 RTTs of line time.
+RAMP_RTTS = 1.7
+#: goodput fraction of an unprotected CUBIC flow vs loss rate —
+#: loss-driven window collapse, calibrated against the engine (high
+#: variance regime: single-flow CUBIC at these rates is seed-sensitive).
+NONE_DEGRADATION = [(1e-3, 1.0), (3e-3, 0.80), (1e-2, 0.78), (3e-2, 0.50)]
+#: extra goodput penalty of non-blocking (reordering) delivery on CUBIC.
+LGNB_PENALTY = [(3e-3, 1.0), (1e-2, 0.97), (3e-2, 0.72)]
+
+
+def _wire(transport: str):
+    if transport == "rdma":
+        return RDMA_MTU, RDMA_HEADER_BYTES, RDMA_ACK_BYTES, STACK_NS["rdma"]
+    return TCP_MSS, TCP_HEADER_BYTES, TCP_ACK_BYTES, STACK_NS["tcp"]
+
+
+def segment_count(flow_size, transport: str):
+    mss = _wire(transport)[0]
+    size = np.asarray(flow_size, dtype=np.float64)
+    return np.maximum(np.ceil(size / mss), 1.0)
+
+
+def base_fct_ns(flow_size, transport: str, rate_bps):
+    """Clean (no-loss) flow completion time in ns.
+
+    TCP: ``k`` slow-start rounds (windows 10, 20, 40, ...) each cost one
+    full-MTU exchange; the last round streams its ``r`` segments back to
+    back.  RDMA: one round, all segments back to back.  Very large
+    flows bottom out at the line-rate bound.
+    """
+    size = np.asarray(flow_size, dtype=np.float64)
+    rate = np.asarray(rate_bps, dtype=np.float64)
+    mss, header, ack, stack = _wire(transport)
+
+    n = np.maximum(np.ceil(size / mss), 1.0)
+    last_payload = size - (n - 1.0) * mss
+    ser_full = ser_ns(mss + header, rate)
+    ser_last = ser_ns(last_payload + header, rate)
+    ser_ack = ser_ns(ack, rate)
+    exchange_fixed = 4.0 * stack + 2.0 * PATH_FIXED_NS + 3.0 * ser_ack
+    base_full = exchange_fixed + 3.0 * ser_full
+    base_last = exchange_fixed + 3.0 * ser_last
+
+    if transport == "rdma":
+        # Streaming message: the trailing (possibly partial) packet is
+        # store-and-forward blocked behind full frames at every hop, so
+        # the data serialization totals (n+1)*ser_full + ser_last for
+        # n >= 2 and the plain 3*ser_last single-packet exchange at n=1.
+        # Exact against the engine at both link speeds.
+        multi = exchange_fixed + (n + 1.0) * ser_full + ser_last
+        return np.where(n <= 1.0, base_last, multi)
+
+    # k = smallest round count with cumulative window 10*(2^k - 1) >= n
+    k = np.maximum(np.ceil(np.log2(n / TCP_INIT_WINDOW + 1.0)), 1.0)
+    sent_before = TCP_INIT_WINDOW * (2.0 ** (k - 1.0) - 1.0)
+    r = n - sent_before
+    # Final round: with r >= 2 the trailing (possibly partial) segment is
+    # store-and-forward blocked behind the full frames ahead of it at the
+    # two intermediate hops, same as the RDMA streaming case — the round
+    # costs (r+1)*ser_full + ser_last instead of 3*ser_last + (r-1)*ser_full.
+    last_round = np.where(
+        r >= 2.0,
+        exchange_fixed + (r + 1.0) * ser_full + ser_last,
+        base_last)
+    fct = (k - 1.0) * base_full + last_round
+    bound = np.where(
+        n >= 2.0,
+        exchange_fixed + (n + 1.0) * ser_full + ser_last,
+        base_last)
+    return np.maximum(fct, bound)
+
+
+def _lg_penalty_ns(rate_bps, recirc_loop_ns):
+    """End-to-end FCT cost of one link-local recovery: the full ReTx
+    delay plus the reordering drain (calibrated against Figure 10/11:
+    the affected-flow tail sits ~fixed + loop above the clean FCT)."""
+    return recovery_latency_ns(rate_bps, recirc_loop_ns)["max"]
+
+
+def _mixture_levels(scenario, transport, loss_rate, n_segs, base_ns,
+                    rate_bps, recirc_loop_ns):
+    """Penalty levels (ascending) and their probabilities, as arrays."""
+    p = np.asarray(loss_rate, dtype=np.float64)
+    n = np.asarray(n_segs, dtype=np.float64)
+    zero = np.zeros_like(p * base_ns)
+
+    if scenario == "noloss":
+        return [zero], [np.ones_like(zero)]
+
+    p_any = -np.expm1(n * np.log1p(-np.clip(p, 0.0, 1.0 - 1e-15)))
+    if scenario in ("lg", "lgnb"):
+        penalty = _lg_penalty_ns(rate_bps, recirc_loop_ns) + zero
+        return [zero, penalty], [1.0 - p_any, p_any]
+
+    # unprotected: mid-flow losses fast-recover in ~1 base round; tail
+    # losses wait for the RTO floor; a tail retransmit lost again (p^2)
+    # pays the backoff chain (~3 RTO total).
+    n_tail = np.minimum(n, TCP_TAIL_SEGS if transport != "rdma" else 1.0)
+    p_tail = -np.expm1(n_tail * np.log1p(-np.clip(p, 0.0, 1.0 - 1e-15)))
+    p_fast = np.maximum(p_any - p_tail, 0.0)
+    fast_penalty = _fast_round_ns(transport, rate_bps)
+    p_tail2 = p_tail * p
+    p_tail1 = p_tail - p_tail2
+    return (
+        [zero, fast_penalty + zero, RTO_NS + zero, 3.0 * RTO_NS + zero],
+        [1.0 - p_any, p_fast, p_tail1, p_tail2],
+    )
+
+
+def _fast_round_ns(transport: str, rate_bps):
+    """Fast-recovery cost: one extra full-MTU exchange (dupack/NAK round)."""
+    mss, header, ack, stack = _wire(transport)
+    return (4.0 * stack + 2.0 * PATH_FIXED_NS
+            + 3.0 * ser_ns(mss + header, rate_bps)
+            + 3.0 * ser_ns(ack, rate_bps))
+
+
+def fct_quantiles_us(flow_size, transport: str, scenario: str, loss_rate,
+                     rate_bps, recirc_loop_ns, quantiles=FCT_QUANTILES):
+    """FCT quantiles in us for a batch of cells (Figure 10/11/12 rows).
+
+    Walks the penalty-mixture CDF: the q-th percentile is the smallest
+    penalty level whose cumulative probability reaches q.
+    """
+    base = base_fct_ns(flow_size, transport, rate_bps)
+    n = segment_count(flow_size, transport)
+    levels, probs = _mixture_levels(
+        scenario, transport, loss_rate, n, base, rate_bps, recirc_loop_ns)
+    penalty = np.stack([np.broadcast_to(lv, base.shape) for lv in levels])
+    cum = np.cumsum(np.stack([np.broadcast_to(pr, base.shape)
+                              for pr in probs]), axis=0)
+    out = {}
+    for q in quantiles:
+        idx = np.argmax(cum >= q / 100.0 - 1e-12, axis=0)
+        picked = np.take_along_axis(penalty, idx[np.newaxis, ...], axis=0)[0]
+        out[f"p{q:g}_us"] = (base + picked) / 1e3
+    return out
+
+
+def quantile_margin(flow_size, transport: str, scenario: str, loss_rate,
+                    rate_bps, recirc_loop_ns, q, n_trials):
+    """How far the q-quantile sits from the nearest mixture boundary,
+    in standard errors of the empirical CDF at q.  Small margins mean
+    the engine's order statistic can land on either level — those cells
+    are gated out of the cross-validation comparison."""
+    base = base_fct_ns(flow_size, transport, rate_bps)
+    n = segment_count(flow_size, transport)
+    _, probs = _mixture_levels(
+        scenario, transport, loss_rate, n, base, rate_bps, recirc_loop_ns)
+    cum = np.cumsum(np.stack([np.broadcast_to(pr, base.shape)
+                              for pr in probs]), axis=0)
+    target = q / 100.0
+    sigma = np.sqrt(max(target * (1.0 - target), 1e-12) / np.asarray(
+        n_trials, dtype=np.float64))
+    distances = np.abs(cum[:-1] - target) if cum.shape[0] > 1 else np.full(
+        (1,) + base.shape, np.inf)
+    return np.min(distances, axis=0) / np.maximum(sigma, 1e-12)
+
+
+def affected_expected(flow_size, transport: str, scenario: str, loss_rate,
+                      n_trials):
+    """Expected count of trials the engine tags 'affected' (retx/timeout).
+
+    Unprotected: every loss-touched flow.  LG: link-local recovery is
+    transport-invisible, zero.  LG_NB: only multi-segment flows whose
+    reordering triggers dupack retransmissions, a calibrated fraction
+    of the loss-touched ones.
+    """
+    n = segment_count(flow_size, transport)
+    p = np.asarray(loss_rate, dtype=np.float64)
+    trials = np.asarray(n_trials, dtype=np.float64)
+    p_any = -np.expm1(n * np.log1p(-np.clip(p, 0.0, 1.0 - 1e-15)))
+    if scenario == "loss":
+        return trials * p_any
+    if scenario == "lgnb":
+        return np.where(n > 1.0, trials * p_any * LGNB_VISIBLE_FRACTION, 0.0)
+    return np.zeros_like(trials * p)
+
+
+# -- CUBIC goodput (Table 3 scale) -----------------------------------------
+
+#: payload fraction of wire time at full MTU segments.
+PAYLOAD_EFFICIENCY = TCP_MSS / float(MTU_FRAME + 20)
+
+
+def _cubic_base_gbps(rate_bps, transfer_bytes):
+    """Loss-free CUBIC goodput: line-rate payload plus the ramp cost."""
+    rate = np.asarray(rate_bps, dtype=np.float64)
+    size_bits = np.asarray(transfer_bytes, dtype=np.float64) * 8.0
+    rtt = base_fct_ns(TCP_MSS, "dctcp", rate)
+    line_ns = size_bits / (rate * PAYLOAD_EFFICIENCY) * 1e9
+    return size_bits / (line_ns + RAMP_RTTS * rtt)  # bits/ns == Gb/s
+
+
+def goodput_gbps(scheme: str, loss_rate, rate_bps, transfer_bytes,
+                 recirc_loop_ns, resume_threshold_bytes,
+                 pause_threshold_bytes, target_loss_rate=1e-8):
+    """Goodput of one long CUBIC transfer per scheme (Table 3).
+
+    none — the calibrated loss-degradation curve; lg — copy overhead and
+    pause duty cycle via :func:`effective_speed_fraction`; lgnb — lg
+    times the calibrated reordering penalty; wharf — the FEC code rate
+    shrinks the usable line rate (``wharf.model.best_parameters``).
+    """
+    p = np.asarray(loss_rate, dtype=np.float64)
+    rate = np.asarray(rate_bps, dtype=np.float64)
+    base = _cubic_base_gbps(rate, transfer_bytes)
+
+    if scheme == "none":
+        return base * np.where(p > 0.0, interp_log_loss(p, NONE_DEGRADATION), 1.0)
+    if scheme == "wharf":
+        from ..wharf.model import best_parameters
+
+        code_rate = np.vectorize(
+            lambda x: best_parameters(float(x)).code_rate)(p)
+        return _cubic_base_gbps(rate * code_rate, transfer_bytes)
+    if scheme in ("lg", "lgnb"):
+        n = retx_copies(p, target_loss_rate)
+        fraction = effective_speed_fraction(
+            p, n, rate, recirc_loop_ns, resume_threshold_bytes,
+            pause_threshold_bytes, ordered=(scheme == "lg"))
+        value = base * fraction
+        if scheme == "lgnb":
+            value = value * np.where(
+                p > 0.0, interp_log_loss(p, LGNB_PENALTY), 1.0)
+        return value
+    raise ValueError(f"unknown goodput scheme {scheme!r}")

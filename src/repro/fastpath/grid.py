@@ -1,0 +1,219 @@
+"""Batch evaluation: lists of ExperimentSpecs → vectorized cell metrics.
+
+The grid layer is the glue between the runner's per-cell specs and the
+array-oriented models in :mod:`~repro.fastpath.model` /
+:mod:`~repro.fastpath.fct`: cells are grouped by ``(kind, transport,
+scenario)``, each group's knobs are packed into NumPy arrays, one model
+call evaluates the whole group, and the rows are unpacked back into
+:class:`~repro.runner.harness.CellResult` objects whose metric names
+mirror the packet backend's — the cross-validation harness and the
+report tables never need to know which backend produced a row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..linkguardian.config import LinkGuardianConfig
+from ..runner.harness import CellResult
+from ..runner.spec import ExperimentSpec
+from ..units import GBPS, MTU_FRAME, SEC
+from . import fct as fctmod
+from . import model
+
+__all__ = ["FASTPATH_KINDS", "evaluate_grid"]
+
+#: experiment kinds the analytic backend can evaluate.
+FASTPATH_KINDS = ("fct", "goodput", "stress")
+
+
+def _configs(specs: Sequence[ExperimentSpec]) -> List[LinkGuardianConfig]:
+    return [
+        LinkGuardianConfig.for_link_speed(s.rate_gbps, **s.lg) for s in specs
+    ]
+
+
+def _config_arrays(specs: Sequence[ExperimentSpec]) -> Dict[str, np.ndarray]:
+    configs = _configs(specs)
+    return {
+        "recirc_loop_ns": np.array(
+            [c.recirc_loop_ns for c in configs], dtype=np.float64),
+        "resume_bytes": np.array(
+            [c.resume_threshold_bytes for c in configs], dtype=np.float64),
+        "pause_bytes": np.array(
+            [c.pause_threshold_bytes for c in configs], dtype=np.float64),
+        "target": np.array(
+            [c.target_loss_rate for c in configs], dtype=np.float64),
+        "max_consecutive": np.array(
+            [c.max_consecutive_retx for c in configs], dtype=np.float64),
+        "dummy_copies": np.array(
+            [c.dummy_copies for c in configs], dtype=np.float64),
+    }
+
+
+def _base_arrays(specs: Sequence[ExperimentSpec]) -> Dict[str, np.ndarray]:
+    return {
+        "loss": np.array([s.loss_rate for s in specs], dtype=np.float64),
+        "size": np.array([s.flow_size for s in specs], dtype=np.float64),
+        "rate_bps": np.array(
+            [s.rate_gbps * GBPS for s in specs], dtype=np.float64),
+        "trials": np.array([s.n_trials for s in specs], dtype=np.float64),
+    }
+
+
+def _eval_fct(specs: Sequence[ExperimentSpec]) -> List[Dict]:
+    arrays = _base_arrays(specs)
+    cfg = _config_arrays(specs)
+    transport = specs[0].transport
+    scenario = specs[0].scenario
+    loss = arrays["loss"] if scenario != "noloss" else np.zeros_like(
+        arrays["loss"])
+    quantiles = fctmod.fct_quantiles_us(
+        arrays["size"], transport, scenario, loss, arrays["rate_bps"],
+        cfg["recirc_loop_ns"])
+    affected = fctmod.affected_expected(
+        arrays["size"], transport, scenario, loss, arrays["trials"])
+    rows = []
+    for i, spec in enumerate(specs):
+        rows.append({
+            "transport": transport,
+            "scenario": scenario,
+            "size": spec.flow_size,
+            "trials": spec.n_trials,
+            **{name: float(values[i]) for name, values in quantiles.items()},
+            "incomplete": 0,
+            "affected": float(affected[i]),
+        })
+    return rows
+
+
+def _eval_goodput(specs: Sequence[ExperimentSpec]) -> List[Dict]:
+    arrays = _base_arrays(specs)
+    cfg = _config_arrays(specs)
+    scheme = specs[0].scenario
+    transfer = np.array(
+        [s.params.get("transfer_bytes", 2_500_000) for s in specs],
+        dtype=np.float64)
+    goodput = fctmod.goodput_gbps(
+        scheme, arrays["loss"], arrays["rate_bps"], transfer,
+        cfg["recirc_loop_ns"], cfg["resume_bytes"], cfg["pause_bytes"],
+        target_loss_rate=cfg["target"])
+    expected_losses = arrays["loss"] * np.ceil(transfer / fctmod.TCP_MSS)
+    rows = []
+    for i, spec in enumerate(specs):
+        rows.append({
+            "scheme": scheme,
+            "loss_rate": spec.loss_rate,
+            "goodput_gbps": float(goodput[i]),
+            "completed": True,
+            "retransmissions": float(expected_losses[i]),
+            "timeouts": 0,
+        })
+    return rows
+
+
+def _eval_stress(specs: Sequence[ExperimentSpec]) -> List[Dict]:
+    arrays = _base_arrays(specs)
+    cfg = _config_arrays(specs)
+    ordered = specs[0].scenario != "lgnb"
+    loss = arrays["loss"]
+    rate = arrays["rate_bps"]
+    target = np.array(
+        [s.params.get("target_loss_rate", c)
+         for s, c in zip(specs, cfg["target"])], dtype=np.float64)
+    duration_ns = np.array(
+        [s.params.get("duration_ms", 10.0) * 1e6 for s in specs],
+        dtype=np.float64)
+    drain = np.array(
+        [s.params.get("recirc_drain_gbps", max(s.rate_gbps, 100.0)) * GBPS
+         for s in specs], dtype=np.float64)
+
+    n_copies = model.retx_copies(np.where(loss > 0.0, loss, 1e-4), target)
+    eff_loss = model.effective_loss(
+        loss, n_copies, cfg["max_consecutive"], cfg["dummy_copies"])
+    speed = model.effective_speed_fraction(
+        loss, n_copies, rate, cfg["recirc_loop_ns"], cfg["resume_bytes"],
+        cfg["pause_bytes"], ordered=ordered, recirc_drain_bps=drain)
+    buffer = model.reorder_buffer_model(
+        rate, loss, cfg["recirc_loop_ns"], cfg["resume_bytes"],
+        cfg["pause_bytes"], recirc_drain_bps=drain)
+    retx = model.recovery_latency_ns(rate, cfg["recirc_loop_ns"])
+
+    slot_ns = model.ser_ns(MTU_FRAME, rate)
+    slots = duration_ns / slot_ns
+    # data slots: the line also carries the N copies per loss event.
+    injected = slots * (1.0 - n_copies * loss)
+    loss_events = loss * injected
+    timeouts = eff_loss * injected
+    # the sender's retransmit store holds ~one recirculation loop of
+    # line rate; calibrated shape factor against the Figure 14 peaks.
+    tx_peak = 0.68 * rate / (8.0 * SEC) * cfg["recirc_loop_ns"]
+
+    rows = []
+    for i, spec in enumerate(specs):
+        rows.append({
+            "link": f"{spec.rate_gbps:g}G",
+            "loss": spec.loss_rate,
+            "mode": "LG" if ordered else "LG_NB",
+            "N": int(n_copies[i]),
+            "eff_loss(meas)": float(eff_loss[i]),
+            "eff_loss(expect)": float(loss[i] ** (n_copies[i] + 1.0)),
+            "eff_speed_%": float(100.0 * speed[i]),
+            "tx_buf_max_KB": float(tx_peak[i] / 1e3),
+            # non-blocking delivery holds nothing: the engine's LG_NB
+            # receiver forwards out of order, rx buffer stays empty.
+            "rx_buf_max_KB": float(buffer["peak_bytes"][i] / 1e3)
+            if ordered else 0.0,
+            "injected": float(injected[i]),
+            "delivered": float(injected[i] * (1.0 - eff_loss[i])),
+            "loss_events": float(loss_events[i]),
+            "recovered": float(loss_events[i] - timeouts[i]),
+            "timeouts": float(timeouts[i]),
+            "retx_min_us": float(retx["min"][i] / 1e3),
+            "retx_p50_us": float(retx["p50"][i] / 1e3),
+            "retx_max_us": float(retx["max"][i] / 1e3),
+            "pause_probability": float(buffer["pause_probability"][i])
+            if ordered else 0.0,
+        })
+    return rows
+
+
+_EVALUATORS = {
+    "fct": _eval_fct,
+    "goodput": _eval_goodput,
+    "stress": _eval_stress,
+}
+
+
+def evaluate_grid(specs: Sequence[ExperimentSpec]) -> List[CellResult]:
+    """Evaluate a batch of fastpath-capable specs; results in input order.
+
+    Cells are grouped by ``(kind, transport, scenario)`` so each group is
+    one vectorized model call; any kind outside :data:`FASTPATH_KINDS`
+    raises ``ValueError`` — the analytic backend refuses rather than
+    silently approximating an experiment it has no model for.
+    """
+    groups: Dict[Tuple[str, str, str], List[int]] = {}
+    for index, spec in enumerate(specs):
+        if spec.kind not in _EVALUATORS:
+            raise ValueError(
+                f"kind {spec.kind!r} has no fastpath model; "
+                f"supported: {list(FASTPATH_KINDS)}")
+        groups.setdefault(
+            (spec.kind, spec.transport, spec.scenario), []).append(index)
+
+    results: List[CellResult] = [None] * len(specs)  # type: ignore[list-item]
+    for (kind, _, _), indices in groups.items():
+        members = [specs[i] for i in indices]
+        for index, metrics in zip(indices, _EVALUATORS[kind](members)):
+            spec = specs[index]
+            results[index] = CellResult(
+                cell_id=spec.cell_id(),
+                spec=spec.to_dict(),
+                metrics=metrics,
+                series={},
+                backend="fastpath",
+            )
+    return results

@@ -33,7 +33,7 @@ from __future__ import annotations
 import json
 import math
 import time
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.rng import RngFactory
@@ -51,7 +51,7 @@ from .topology import (
 __all__ = [
     "FleetCampaignSpec", "FleetCampaignResult",
     "shard_bounds", "run_shard", "run_fleet_campaign",
-    "unprotected_goodput_fraction",
+    "resimulate_flagged", "unprotected_goodput_fraction",
 ]
 
 #: FCT inflation factor for a flow that loses >= 1 packet with LinkGuardian
@@ -94,6 +94,13 @@ class FleetCampaignSpec:
     #: flows sampled per episode for the empirical Gilbert-Elliott
     #: affected-fraction measurement
     sample_flows: int = 128
+    #: "packet" samples every episode's affected fraction empirically;
+    #: "fastpath" computes it analytically (Gilbert-Elliott closed form)
+    #: and re-simulates only the flagged worst episodes.
+    backend: str = "packet"
+    #: fraction of episodes (the worst, by analytic affected fraction)
+    #: the fastpath backend re-simulates with the packet sampler.
+    resim_fraction: float = 0.05
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -107,6 +114,11 @@ class FleetCampaignSpec:
                 f"({self.fleet.n_links})")
         if self.duration_days <= 0:
             raise ValueError("duration_days must be positive")
+        if self.backend not in ("packet", "fastpath"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; known: packet, fastpath")
+        if not 0.0 <= self.resim_fraction <= 1.0:
+            raise ValueError("resim_fraction must be in [0, 1]")
 
     @property
     def duration_s(self) -> float:
@@ -143,25 +155,40 @@ def shard_bounds(n_links: int, n_shards: int, shard: int) -> Tuple[int, int]:
 
 
 def run_shard(campaign: FleetCampaignSpec, shard: int) -> List[CorruptionEpisode]:
-    """Generate one shard's episodes, with empirical affected fractions.
+    """Generate one shard's episodes, with per-episode affected fractions.
 
     All randomness is drawn from streams named by ``link_id`` (and the
     episode's index on its link), so the output is a pure function of
     ``(campaign.seed, link_id)`` — re-sharding cannot move any draw.
+
+    The packet backend samples every episode's affected fraction
+    empirically; the fastpath backend uses the Gilbert–Elliott closed
+    form (:func:`repro.fastpath.model.ge_affected_fraction`) and leaves
+    the empirical sampling to the flagged-worst re-simulation pass in
+    :func:`run_fleet_campaign`.
     """
     factory = RngFactory(campaign.seed)
     lo, hi = shard_bounds(campaign.fleet.n_links, campaign.n_shards, shard)
+    analytic = campaign.backend == "fastpath"
+    if analytic:
+        from ..fastpath.model import ge_affected_fraction
+
     episodes: List[CorruptionEpisode] = []
     for link_id in range(lo, hi):
         for ep_index, episode in enumerate(
                 link_episodes(campaign.fleet, factory, link_id,
                               campaign.duration_s)):
-            flows_rng = factory.stream(
-                f"fleet.link.{link_id}.flows.{ep_index}")
-            affected = sample_affected_fraction(
-                flows_rng, episode.loss_rate, episode.mean_burst,
-                campaign.flow_packets, campaign.sample_flows,
-            )
+            if analytic:
+                affected = float(ge_affected_fraction(
+                    episode.loss_rate, episode.mean_burst,
+                    campaign.flow_packets))
+            else:
+                flows_rng = factory.stream(
+                    f"fleet.link.{link_id}.flows.{ep_index}")
+                affected = sample_affected_fraction(
+                    flows_rng, episode.loss_rate, episode.mean_burst,
+                    campaign.flow_packets, campaign.sample_flows,
+                )
             episodes.append(CorruptionEpisode(
                 link_id=episode.link_id,
                 onset_s=episode.onset_s,
@@ -218,6 +245,55 @@ class FleetCampaignResult:
         return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 
+def resimulate_flagged(
+    campaign: FleetCampaignSpec,
+    episodes: List[CorruptionEpisode],
+) -> Tuple[List[CorruptionEpisode], int]:
+    """Replace the worst analytic episodes with packet-sampled fractions.
+
+    The two-tier contract: flag the ``resim_fraction`` of episodes with
+    the highest analytic affected fraction (loss rate breaking ties) and
+    re-sample each with the **same named RNG stream** a packet-backend
+    shard would have used (``fleet.link.<id>.flows.<ep_index>``) — the
+    flagged values are therefore byte-identical to a full packet run.
+    Flagging ranks the merged fleet-wide list, never per shard, so the
+    outcome is independent of ``n_shards``.
+    """
+    if not episodes or campaign.resim_fraction <= 0.0:
+        return episodes, 0
+    n_flagged = min(len(episodes),
+                    max(1, math.ceil(campaign.resim_fraction * len(episodes))))
+    ranked = sorted(
+        range(len(episodes)),
+        key=lambda i: (-episodes[i].affected_fraction,
+                       -episodes[i].loss_rate,
+                       episodes[i].link_id, episodes[i].onset_s))
+    flagged = ranked[:n_flagged]
+
+    # Reconstruct each episode's on-link index (link_episodes generates
+    # per link in onset order) to name the exact packet RNG stream.
+    per_link: Dict[int, List[int]] = {}
+    for index, episode in enumerate(episodes):
+        per_link.setdefault(episode.link_id, []).append(index)
+    ep_index: Dict[int, int] = {}
+    for indices in per_link.values():
+        indices.sort(key=lambda i: episodes[i].onset_s)
+        for position, index in enumerate(indices):
+            ep_index[index] = position
+
+    factory = RngFactory(campaign.seed)
+    episodes = list(episodes)
+    for index in flagged:
+        episode = episodes[index]
+        flows_rng = factory.stream(
+            f"fleet.link.{episode.link_id}.flows.{ep_index[index]}")
+        episodes[index] = replace(episode, affected_fraction=(
+            sample_affected_fraction(
+                flows_rng, episode.loss_rate, episode.mean_burst,
+                campaign.flow_packets, campaign.sample_flows)))
+    return episodes, n_flagged
+
+
 def _analytic_affected(loss_rate: float, flow_packets: int) -> float:
     """P(flow of n packets loses >= 1) under i.i.d. loss — used for the
     LinkGuardian-protected state, where retransmission breaks bursts and
@@ -245,6 +321,10 @@ def run_fleet_campaign(
         for raw in result.series["episodes"]
     ]
     episodes.sort(key=lambda e: (e.onset_s, e.link_id))
+
+    n_flagged = 0
+    if campaign.backend == "fastpath":
+        episodes, n_flagged = resimulate_flagged(campaign, episodes)
 
     topology = FleetTopology(campaign.fleet, campaign.seed)
     controller = FleetController(
@@ -339,4 +419,27 @@ def run_fleet_campaign(
             f"fleet.rollup.{campaign.policy}",
             lambda: {**result.slos, **result.counts},
         )
+        # Campaign bookkeeping: one summary per campaign through the
+        # registry (cells, backend mix, flagged-for-resim count) so the
+        # CLI and exporters read the same source of truth.
+        registry = obs.registry
+        registry.counter("fleet.campaign.runs").inc()
+        registry.counter("fleet.campaign.cells").inc(campaign.n_shards)
+        registry.counter(
+            f"fleet.campaign.cells.{campaign.backend}").inc(campaign.n_shards)
+        registry.counter("fleet.campaign.episodes").inc(len(episodes))
+        registry.counter("fleet.campaign.flagged_resim").inc(n_flagged)
+        summary = {
+            "cells": campaign.n_shards,
+            "backend": campaign.backend,
+            "backend_mix": {campaign.backend: campaign.n_shards},
+            "flagged_resim": n_flagged,
+            "episodes": len(episodes),
+            "links": campaign.fleet.n_links,
+            "duration_days": campaign.duration_days,
+            "policy": campaign.policy,
+            "wall_s": round(result.wall_s, 4),
+        }
+        registry.register_provider(
+            "fleet.campaign.summary", lambda: summary)
     return result

@@ -39,9 +39,21 @@ def experiment_kinds() -> List[str]:
 
 
 def run_cell(spec: Union[ExperimentSpec, dict]) -> CellResult:
-    """Run one cell and return its unified result (wall clock attached)."""
+    """Run one cell and return its unified result (wall clock attached).
+
+    ``spec.backend`` selects the execution engine: ``"packet"`` runs the
+    registered event-driven experiment, ``"fastpath"`` routes to the
+    vectorized analytic backend (:mod:`repro.fastpath`).
+    """
     if isinstance(spec, dict):
         spec = ExperimentSpec.from_dict(spec)
+    if spec.backend == "fastpath":
+        from ..fastpath.backend import run_fastpath_cell
+
+        return run_fastpath_cell(spec)
+    if spec.backend != "packet":
+        raise ValueError(
+            f"unknown backend {spec.backend!r}; known: packet, fastpath")
     try:
         runner = _RUNNERS[spec.kind]
     except KeyError:
@@ -61,6 +73,7 @@ def _result(spec: ExperimentSpec, metrics: dict, series: dict = None) -> CellRes
         spec=spec.to_dict(),
         metrics=metrics,
         series=series or {},
+        backend=spec.backend,
     )
 
 
@@ -130,11 +143,22 @@ def _run_multihop(spec: ExperimentSpec) -> CellResult:
 def _run_stress(spec: ExperimentSpec) -> CellResult:
     from ..experiments.stress import run_stress_test
 
+    config = None
+    if spec.lg:
+        from ..linkguardian.config import LinkGuardianConfig
+
+        # params.target_loss_rate outranks the lg override, mirroring the
+        # fastpath grid's precedence (params > lg > default).
+        overrides = {"ordered": spec.scenario != "lgnb", **spec.lg}
+        if "target_loss_rate" in spec.params:
+            overrides["target_loss_rate"] = spec.params["target_loss_rate"]
+        config = LinkGuardianConfig.for_link_speed(spec.rate_gbps, **overrides)
     result = run_stress_test(
         rate_gbps=spec.rate_gbps,
         loss_rate=spec.loss_rate,
         ordered=spec.scenario != "lgnb",
         seed=spec.seed,
+        config=config,
         **spec.params,
     )
     metrics = dict(result.row())

@@ -57,6 +57,9 @@ class CellResult:
     metrics: Dict[str, Any] = field(default_factory=dict)
     series: Dict[str, list] = field(default_factory=dict)
     wall_s: float = 0.0
+    #: which execution backend produced this cell ("packet"/"fastpath");
+    #: deterministic, so part of the canonical form.
+    backend: str = "packet"
 
     def canonical_json(self) -> str:
         """Deterministic serialization: same seed ⇒ byte-identical."""
@@ -65,6 +68,7 @@ class CellResult:
             "spec": self.spec,
             "metrics": self.metrics,
             "series": self.series,
+            "backend": self.backend,
         }
         return json.dumps(data, sort_keys=True, separators=(",", ":"),
                           default=_jsonable)
@@ -77,6 +81,7 @@ class CellResult:
             "metrics": self.metrics,
             "series": self.series,
             "wall_s": self.wall_s,
+            "backend": self.backend,
         }
         return json.dumps(data, sort_keys=True, separators=(",", ":"),
                           default=_jsonable)
@@ -90,14 +95,17 @@ class CellResult:
             metrics=data.get("metrics", {}),
             series=data.get("series", {}),
             wall_s=data.get("wall_s", 0.0),
+            backend=data.get("backend", "packet"),
         )
 
     def row(self) -> Dict[str, Any]:
-        """Scalar metrics prefixed by the cell id, for table rendering."""
+        """Scalar metrics prefixed by the cell id, for table rendering;
+        backend and wall clock ride along so fastpath-vs-packet speedups
+        read straight off a sweep table or checkpoint."""
         return {"cell": self.cell_id, **{
             k: v for k, v in self.metrics.items()
             if isinstance(v, (int, float, str, bool))
-        }}
+        }, "backend": self.backend, "wall_s": round(self.wall_s, 4)}
 
 
 class TrialHarness:

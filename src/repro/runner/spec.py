@@ -47,6 +47,9 @@ class ExperimentSpec:
     n_trials: int = 1_000
     rate_gbps: float = 100.0
     seed: int = 1
+    #: execution backend: "packet" (the event-driven engine) or
+    #: "fastpath" (the vectorized analytic models in ``repro.fastpath``)
+    backend: str = "packet"
     lg: Dict[str, Any] = field(default_factory=dict)
     params: Dict[str, Any] = field(default_factory=dict)
 
@@ -60,6 +63,7 @@ class ExperimentSpec:
             "n_trials": self.n_trials,
             "rate_gbps": self.rate_gbps,
             "seed": self.seed,
+            "backend": self.backend,
             "lg": dict(self.lg),
             "params": dict(self.params),
         }
@@ -78,9 +82,13 @@ class ExperimentSpec:
 
     def grid_key(self) -> str:
         """The cell's coordinates excluding ``seed`` — what per-cell seeds
-        are derived *from*, so the derivation cannot be circular."""
+        are derived *from*, so the derivation cannot be circular.
+        ``backend`` is excluded too: the same grid cell on the packet and
+        fastpath backends derives the same seed, which is what makes
+        cross-validation grids exactly comparable."""
         data = self.to_dict()
         del data["seed"]
+        del data["backend"]
         return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
     def cell_id(self) -> str:

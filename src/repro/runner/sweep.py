@@ -90,6 +90,12 @@ class SweepRunner:
         self.resumed = len(done)
         pending = [c for c in cells if c.cell_id() not in done]
 
+        # Fastpath cells are a single vectorized batch, not pool work:
+        # one NumPy call evaluates all of them, so shipping them to
+        # worker processes would only add pickling overhead.
+        fastpath = [c for c in pending if c.backend == "fastpath"]
+        pending = [c for c in pending if c.backend != "fastpath"]
+
         sink = None
         if self.checkpoint:
             sink = open(self.checkpoint, "a")
@@ -101,6 +107,11 @@ class SweepRunner:
                     if tail.read(1) != b"\n":
                         sink.write("\n")
         try:
+            if fastpath:
+                from ..fastpath.backend import evaluate_specs
+
+                for result in evaluate_specs(fastpath):
+                    self._finish(result, done, sink, progress)
             if self.workers == 1 or len(pending) <= 1:
                 for spec in pending:
                     self._finish(run_cell(spec), done, sink, progress)
