@@ -20,6 +20,12 @@ selects the line-delimited raw event format instead); ``--metrics-out``
 dumps the metrics registry (``.prom`` extension selects the Prometheus
 text format).  ``python -m repro metrics`` runs a fig09-style timeline
 and prints the loss->recovery latency histogram.
+
+obs v2: ``--spans`` turns on causal recovery-episode spans (exported
+with the trace), ``--timeline-out`` + ``--timeline-interval-us`` record
+a metrics timeline on simulated-time cadence, and ``python -m repro obs
+spans|timeline|top <artifact>`` renders episode trees, timeline
+summaries, and per-cell wall-clock rankings from exported artifacts.
 """
 
 from __future__ import annotations
@@ -149,6 +155,7 @@ def _fct_command(transport_list, size, args, loss=None):
             result = run_fct_experiment(
                 transport=transport, flow_size=size, n_trials=args.trials,
                 scenario=scenario, loss_rate=loss, seed=args.seed,
+                obs=args.obs,
             )
             rows.append(result.summary())
     _emit(rows)
@@ -476,6 +483,8 @@ def cmd_metrics(args) -> None:
     from .experiments.timeline import run_timeline
     from .obs import Observability
 
+    if args.duration_ms <= 0:
+        _usage_error("--duration-ms must be > 0")
     obs = args.obs if args.obs is not None else Observability()
     args.obs = obs  # so --trace-out/--metrics-out pick the run up too
     run_timeline(
@@ -714,6 +723,192 @@ def cmd_check(argv: List[str]) -> int:
     return 0 if replay.byte_identical else 1
 
 
+def cmd_obs(argv: List[str]) -> int:
+    """``repro obs {spans,timeline,top}`` — inspect obs v2 artifacts.
+
+    ``spans`` renders recovery-episode trees from a trace file written
+    with ``--trace-out`` under ``--spans``; ``timeline`` summarizes a
+    flight-recorder file from ``--timeline-out``; ``top`` ranks the
+    cells of a sweep checkpoint by wall-clock cost.  Missing files and
+    bad arguments exit 2; files that fail schema validation exit 1.
+    """
+    import os
+
+    from .obs.schema import (
+        validate_chrome_trace, validate_events_jsonl, validate_timeline,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description="Inspect observability artifacts: recovery-episode "
+                    "span trees, flight-recorder timelines, cell costs.",
+    )
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    spans_p = sub.add_parser("spans",
+                             help="render recovery-episode trees from a trace")
+    spans_p.add_argument("trace", metavar="TRACE.json",
+                         help="Chrome trace (--trace-out) or .jsonl events")
+    spans_p.add_argument("--json", action="store_true")
+
+    tl_p = sub.add_parser("timeline",
+                          help="summarize a flight-recorder timeline")
+    tl_p.add_argument("timeline", metavar="TIMELINE.json",
+                      help="file written by --timeline-out")
+    tl_p.add_argument("--json", action="store_true")
+
+    top_p = sub.add_parser("top", help="rank sweep cells by wall-clock cost")
+    top_p.add_argument("checkpoint", metavar="CHECKPOINT.jsonl",
+                       help="sweep --checkpoint JSONL of cell results")
+    top_p.add_argument("--limit", type=int, default=10)
+    top_p.add_argument("--json", action="store_true")
+
+    args = parser.parse_args(argv)
+    global _JSON_MODE
+    _JSON_MODE = args.json
+
+    if args.mode == "spans":
+        if not os.path.isfile(args.trace):
+            _usage_error(f"{args.trace}: no such file")
+        with open(args.trace) as handle:
+            text = handle.read()
+        if args.trace.endswith(".jsonl"):
+            problems = validate_events_jsonl(text)
+            spans = [
+                record for record in
+                (json.loads(line) for line in text.splitlines() if line.strip())
+                if record.get("kind") == "span"
+            ]
+        else:
+            try:
+                data = json.loads(text)
+            except ValueError as exc:
+                sys.stderr.write(f"repro obs: {args.trace}: {exc}\n")
+                return 1
+            problems = validate_chrome_trace(data)
+            spans = []
+            for event in data.get("traceEvents", []):
+                meta = event.get("args") or {}
+                if "span_id" not in meta:
+                    continue
+                start_ns = int(round(event.get("ts", 0) * 1000))
+                spans.append({
+                    "span_id": meta["span_id"],
+                    "parent_id": meta.get("parent_id"),
+                    "trace_id": meta.get("trace_id"),
+                    "cat": event.get("cat"),
+                    "name": event.get("name"),
+                    "start_ns": start_ns,
+                    "end_ns": (start_ns + int(round(event.get("dur", 0) * 1000))
+                               if event.get("ph") == "X" else None),
+                    "args": {k: v for k, v in meta.items()
+                             if k not in ("span_id", "parent_id", "trace_id")},
+                })
+        if problems:
+            for problem in problems:
+                sys.stderr.write(f"repro obs: {args.trace}: {problem}\n")
+            return 1
+        if _JSON_MODE:
+            _print(json.dumps(spans, default=_json_default))
+            return 0
+        if not spans:
+            _print("no spans in trace (re-run with --spans --trace-out)")
+            return 0
+        by_id = {span["span_id"]: span for span in spans}
+        trees: dict = {}
+        for span in spans:
+            trees.setdefault(span.get("trace_id"), []).append(span)
+        for members in sorted(trees.values(),
+                              key=lambda m: min(s["start_ns"] for s in m)):
+            members.sort(key=lambda s: (s["start_ns"], s["span_id"]))
+            origin = members[0]["start_ns"]
+            for span in members:
+                depth, parent = 0, span.get("parent_id")
+                while parent is not None and parent in by_id:
+                    depth += 1
+                    parent = by_id[parent].get("parent_id")
+                offset_us = (span["start_ns"] - origin) / 1e3
+                if span["end_ns"] is not None and span["end_ns"] > span["start_ns"]:
+                    extent = f"dur={(span['end_ns'] - span['start_ns']) / 1e3:g}us"
+                elif span["end_ns"] is None and depth == 0:
+                    extent = "open"
+                else:
+                    extent = "instant"
+                detail = " ".join(
+                    f"{key}={value}" for key, value in sorted(span["args"].items()))
+                _print(f"{'  ' * depth}{span['name']} [{span['cat']}] "
+                       f"+{offset_us:g}us {extent}"
+                       + (f"  {detail}" if detail else ""))
+            _print()
+        _print(f"{len(trees)} episode(s), {len(spans)} span(s)")
+        return 0
+
+    if args.mode == "timeline":
+        if not os.path.isfile(args.timeline):
+            _usage_error(f"{args.timeline}: no such file")
+        with open(args.timeline) as handle:
+            try:
+                data = json.load(handle)
+            except ValueError as exc:
+                sys.stderr.write(f"repro obs: {args.timeline}: {exc}\n")
+                return 1
+        problems = validate_timeline(data)
+        if problems:
+            for problem in problems:
+                sys.stderr.write(f"repro obs: {args.timeline}: {problem}\n")
+            return 1
+        ts_ns = data.get("ts_ns", [])
+        rows = []
+        for name in sorted(data.get("metrics", {})):
+            values = [v for v in data["metrics"][name]
+                      if isinstance(v, (int, float))]
+            if not values:
+                continue
+            rows.append({
+                "metric": name, "samples": len(values),
+                "min": round(min(values), 6), "max": round(max(values), 6),
+                "last": round(values[-1], 6),
+            })
+        if not _JSON_MODE:
+            span_ms = (ts_ns[-1] - ts_ns[0]) / 1e6 if len(ts_ns) > 1 else 0.0
+            _print(f"timeline: {data.get('sampled', len(ts_ns))} sample(s) "
+                   f"({data.get('dropped', 0)} dropped), "
+                   f"cadence {data.get('interval_ns', 0) / 1e3:g}us, "
+                   f"span {span_ms:g}ms")
+        _emit(rows, ["metric", "samples", "min", "max", "last"])
+        return 0
+
+    # -- top: rank checkpoint cells by cost --------------------------------
+    if args.limit <= 0:
+        _usage_error("--limit must be > 0")
+    if not os.path.isfile(args.checkpoint):
+        _usage_error(f"{args.checkpoint}: no such file")
+    from .runner.harness import CellResult
+
+    results = []
+    with open(args.checkpoint) as handle:
+        for line in handle:
+            if line.strip():
+                results.append(CellResult.from_json(line))
+    results.sort(key=lambda r: r.timings.get("total_s", r.wall_s), reverse=True)
+    rows = []
+    for result in results[:args.limit]:
+        rows.append({
+            "cell": result.cell_id, "backend": result.backend,
+            "wall_s": round(result.wall_s, 4),
+            **{f"{phase}_s": result.timings[phase]
+               for phase in ("setup", "run", "collect")
+               if phase in result.timings},
+            **({"engine_run_s": result.timings["engine_run_s"]}
+               if "engine_run_s" in result.timings else {}),
+        })
+    if not _JSON_MODE:
+        _print(f"top {min(args.limit, len(results))} of {len(results)} cell(s) "
+               f"by wall clock:")
+    _emit(rows)
+    return 0
+
+
 COMMANDS = {
     "fig01": (cmd_fig01, "PLR vs optical attenuation per transceiver"),
     "fig02": (cmd_fig02, "flow-size CDFs of six datacenter workloads"),
@@ -751,6 +946,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "fastpath":
         # Same pattern: scan/validate have their own grammar.
         return cmd_fastpath(argv[1:])
+    if argv and argv[0] == "obs":
+        # And spans/timeline/top for obs artifact inspection.
+        return cmd_obs(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Run LinkGuardian reproduction experiments.",
@@ -780,6 +978,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="write the metrics registry (JSON, or "
                              "Prometheus text with a .prom extension)")
+    parser.add_argument("--spans", action="store_true",
+                        help="record causal recovery-episode spans "
+                             "(exported with --trace-out, inspected with "
+                             "'repro obs spans')")
+    parser.add_argument("--timeline-out", default=None, metavar="PATH",
+                        help="write the flight-recorder timeline JSON "
+                             "(inspected with 'repro obs timeline')")
+    parser.add_argument("--timeline-interval-us", type=float, default=100.0,
+                        help="flight-recorder sampling cadence in "
+                             "simulated microseconds")
     parser.add_argument("--kind", default="fct",
                         help="sweep: experiment kind of the base spec")
     parser.add_argument("--backend", default="packet",
@@ -830,11 +1038,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     global _JSON_MODE
     _JSON_MODE = args.json
 
+    if args.timeline_interval_us <= 0:
+        _usage_error("--timeline-interval-us must be > 0")
     args.obs = None
-    if args.trace_out or args.metrics_out:
+    if args.trace_out or args.metrics_out or args.spans or args.timeline_out:
         from .obs import Observability
 
-        args.obs = Observability()
+        args.obs = Observability(
+            spans=args.spans,
+            timeline=({"interval_ns": int(args.timeline_interval_us * 1000)}
+                      if args.timeline_out else None),
+        )
 
     if args.experiment == "list":
         rows = [{"experiment": name, "description": desc}
@@ -845,6 +1059,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         rows.append({"experiment": "fastpath",
                      "description": "analytic backend: wide scans + "
                                     "cross-validation ('repro fastpath -h')"})
+        rows.append({"experiment": "obs",
+                     "description": "inspect span trees, timelines, and "
+                                    "cell costs ('repro obs -h')"})
         _emit(rows)
         return 0
     command, _ = COMMANDS[args.experiment]
@@ -853,17 +1070,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.obs is not None:
         from .obs import (
             write_chrome_trace, write_jsonl,
-            write_metrics_json, write_metrics_prometheus,
+            write_metrics_json, write_metrics_prometheus, write_timeline_json,
         )
 
         if args.trace_out:
             if args.trace_out.endswith(".jsonl"):
-                write_jsonl(args.trace_out, args.obs.tracer)
+                write_jsonl(args.trace_out, args.obs.tracer,
+                            spans=args.obs.spans)
             else:
                 write_chrome_trace(args.trace_out, args.obs.tracer,
-                                   args.obs.registry)
+                                   args.obs.registry, spans=args.obs.spans)
             if not _JSON_MODE:
                 _print(f"trace written to {args.trace_out}")
+        if args.timeline_out and args.obs.timeline is not None:
+            args.obs.timeline.stop()
+            write_timeline_json(args.timeline_out, args.obs.timeline)
+            if not _JSON_MODE:
+                _print(f"timeline written to {args.timeline_out}")
         if args.metrics_out:
             if args.metrics_out.endswith(".prom"):
                 write_metrics_prometheus(args.metrics_out, args.obs.registry)

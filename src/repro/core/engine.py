@@ -70,6 +70,11 @@ class Simulator:
         self.obs = obs
         if obs is not None:
             obs.registry.register_provider("engine", self.obs_snapshot)
+            # obs v2: lets the flight recorder install its sampling tick
+            # (duck-typed so bare registry+tracer stand-ins keep working).
+            attach = getattr(obs, "attach_engine", None)
+            if attach is not None:
+                attach(self)
 
     @property
     def now(self) -> int:

@@ -20,7 +20,8 @@ resolve the tail percentiles being compared.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 import numpy as np
@@ -28,6 +29,7 @@ import numpy as np
 from ..analysis.classify import FlowClassification, classify_flows
 from ..analysis.stats import percentile
 from ..linkguardian.config import LinkGuardianConfig
+from ..obs.profile import PhaseTimer
 from ..runner.harness import TrialHarness
 from ..transport.congestion import BbrCC, CubicCC, DctcpCC
 from ..transport.flow import FlowRecord
@@ -54,6 +56,8 @@ class FctResult:
     records: List[FlowRecord]
     tail_loss_flow_ids: Set[int]
     incomplete: int
+    #: wall-clock phase breakdown (setup/run/collect), diagnostics only
+    timings: Dict[str, float] = field(default_factory=dict)
 
     def pct(self, q: float) -> float:
         return percentile(self.fcts_us, q)
@@ -87,6 +91,8 @@ def run_fct_experiment(
     inter_trial_gap_ns: int = 20_000,
     trial_deadline_ns: int = 400 * MS,
     lg_config: Optional[LinkGuardianConfig] = None,
+    obs=None,
+    phases: Optional[PhaseTimer] = None,
 ) -> FctResult:
     """Run one line of an FCT plot.
 
@@ -96,12 +102,20 @@ def run_fct_experiment(
         lg_config: override the LinkGuardian configuration (used by the
             Table 2 mechanism ablation to toggle ordering / tail
             detection individually).
+        obs: optional :class:`~repro.obs.Observability` threaded through
+            the testbed (engine, links, hosts, LG endpoints).
+        phases: optional shared :class:`~repro.obs.profile.PhaseTimer`;
+            setup/run/collect phases accumulate into it (and into the
+            result's ``timings``).
     """
     if scenario not in SCENARIOS:
         raise ValueError(f"unknown scenario {scenario!r}")
     if transport not in _CC_FACTORIES and transport != "rdma":
         raise ValueError(f"unknown transport {transport!r}")
 
+    if phases is None:
+        phases = PhaseTimer()
+    setup_started = time.perf_counter()
     with_loss = scenario != "noloss"
     lg_active = scenario in ("lg", "lgnb")
     if lg_config is None:
@@ -114,6 +128,7 @@ def run_fct_experiment(
         lg_active=lg_active,
         seed=seed,
         config=lg_config,
+        obs=obs,
     )
     stack_delay = 1_000 if transport == "rdma" else 6_000
     src = testbed.add_host("h4", "tx", stack_delay_ns=stack_delay)
@@ -155,14 +170,17 @@ def run_fct_experiment(
         trial_deadline_ns=trial_deadline_ns,
         safety_ns=n_trials * (trial_deadline_ns + inter_trial_gap_ns) + 500 * MS,
     )
-    records = harness.run()
-    fcts_us = np.array([r.fct_ns / 1e3 for r in records if r.completed])
-    mss = DEFAULT_MSS
-    tail_ids = {
-        flow_id
-        for flow_id, seqs in lost_seqs.items()
-        if any(seq >= max(0, flow_size - 3 * mss) for seq in seqs)
-    }
+    phases.add("setup", time.perf_counter() - setup_started)
+    with phases.phase("run"):
+        records = harness.run()
+    with phases.phase("collect"):
+        fcts_us = np.array([r.fct_ns / 1e3 for r in records if r.completed])
+        mss = DEFAULT_MSS
+        tail_ids = {
+            flow_id
+            for flow_id, seqs in lost_seqs.items()
+            if any(seq >= max(0, flow_size - 3 * mss) for seq in seqs)
+        }
     return FctResult(
         transport=transport,
         scenario=scenario,
@@ -171,4 +189,5 @@ def run_fct_experiment(
         records=records,
         tail_loss_flow_ids=tail_ids,
         incomplete=harness.incomplete,
+        timings=phases.timings(),
     )

@@ -56,6 +56,7 @@ class Testbed:
             self.sim, name,
             rate_bps=rate_bps if rate_bps is not None else self.plink.rate_bps,
             stack_delay_ns=stack_delay_ns,
+            obs=self.plink.obs,
         )
         host.attach(local)
         remote.set_route(name, via)

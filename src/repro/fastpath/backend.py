@@ -32,10 +32,42 @@ def evaluate_specs(
     ]
     started = time.perf_counter()
     results = evaluate_grid(parsed)
-    per_cell = (time.perf_counter() - started) / max(len(results), 1)
-    for result in results:
+    batch_s = time.perf_counter() - started
+    per_cell = batch_s / max(len(results), 1)
+    for spec, result in zip(parsed, results):
         result.wall_s = per_cell
+        result.timings = {
+            "run_s": round(per_cell, 6),
+            "batch_s": round(batch_s, 6),
+            "batch_cells": len(results),
+        }
+        if spec.obs.get("timeline"):
+            result.artifacts["timeline"] = _analytic_timeline(result)
     return results
+
+
+def _analytic_timeline(result: CellResult) -> dict:
+    """A degenerate one-sample timeline for an analytic cell.
+
+    The fastpath has no simulated clock to sample on, so the flight
+    recorder collapses to a single snapshot of the cell's scalar metrics
+    at t=0 — same schema as the packet backend's recorder, so downstream
+    timeline readers need no backend special-casing.
+    """
+    metrics = {
+        name: [int(value) if isinstance(value, bool) else value]
+        for name, value in sorted(result.metrics.items())
+        if isinstance(value, (int, float))
+    }
+    return {
+        "interval_ns": 1,
+        "capacity": 1,
+        "sampled": 1,
+        "dropped": 0,
+        "run": [1],
+        "ts_ns": [0],
+        "metrics": metrics,
+    }
 
 
 def run_fastpath_cell(spec: Union[ExperimentSpec, dict]) -> CellResult:

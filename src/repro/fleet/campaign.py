@@ -50,7 +50,7 @@ from .topology import (
 
 __all__ = [
     "FleetCampaignSpec", "FleetCampaignResult",
-    "shard_bounds", "run_shard", "run_fleet_campaign",
+    "shard_bounds", "run_shard", "shard_timeline", "run_fleet_campaign",
     "resimulate_flagged", "unprotected_goodput_fraction",
 ]
 
@@ -198,6 +198,45 @@ def run_shard(campaign: FleetCampaignSpec, shard: int) -> List[CorruptionEpisode
                 affected_fraction=affected,
             ))
     return episodes
+
+
+def shard_timeline(
+    campaign: FleetCampaignSpec,
+    episodes: List[CorruptionEpisode],
+) -> Dict[str, list]:
+    """Per-day longitudinal health series for one shard's episodes.
+
+    Three columns, one entry per campaign day: episode onsets, corrupting
+    link-seconds (episode time overlapping the day), and the
+    time-weighted mean loss rate while corrupting.  Deterministic given
+    the episode list, but attached to the shard cell's ``artifacts`` (not
+    ``series``) because its shape depends on how links were sharded.
+    """
+    n_days = max(1, math.ceil(campaign.duration_days))
+    onsets = [0] * n_days
+    active_s = [0.0] * n_days
+    loss_weight = [0.0] * n_days
+    for episode in episodes:
+        bucket = min(int(episode.onset_s / DAY_S), n_days - 1)
+        onsets[bucket] += 1
+        end = min(episode.clear_s, campaign.duration_s)
+        first = min(int(episode.onset_s / DAY_S), n_days - 1)
+        last = min(int(end / DAY_S), n_days - 1)
+        for day in range(first, last + 1):
+            span = min(end, (day + 1) * DAY_S) - max(episode.onset_s, day * DAY_S)
+            if span > 0:
+                active_s[day] += span
+                loss_weight[day] += span * episode.loss_rate
+    return {
+        "interval_s": DAY_S,
+        "day": list(range(n_days)),
+        "episode_onsets": onsets,
+        "corrupting_link_s": [round(s, 6) for s in active_s],
+        "mean_loss_rate": [
+            (loss_weight[d] / active_s[d]) if active_s[d] > 0 else 0.0
+            for d in range(n_days)
+        ],
+    }
 
 
 def shard_sweep(campaign: FleetCampaignSpec) -> SweepSpec:

@@ -30,16 +30,26 @@ class Host:
         name: str,
         rate_bps: int = gbps(100),
         stack_delay_ns: int = 6_000,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.name = name
         self.rate_bps = int(rate_bps)
         self.stack_delay_ns = int(stack_delay_ns)
+        self.obs = obs
         self.nic: Optional[EgressPort] = None
         self._handlers: Dict[int, Callable[[Packet], None]] = {}
         self._default_handler: Optional[Callable[[Packet], None]] = None
         self.received = 0
         self.received_bytes = 0
+        if obs is not None:
+            obs.registry.register_provider(f"host.{name}", self.obs_snapshot)
+
+    def obs_snapshot(self) -> dict:
+        return {
+            "received": self.received,
+            "received_bytes": self.received_bytes,
+        }
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -50,6 +60,7 @@ class Host:
             self.sim, propagation_ns,
             receiver=switch.receiver_for(self.name),
             name=f"{self.name}->{switch.name}",
+            obs=self.obs,
         )
         self.nic = EgressPort(
             self.sim, self.rate_bps, uplink,
@@ -59,6 +70,7 @@ class Host:
             self.sim, propagation_ns,
             receiver=self._on_wire_packet,
             name=f"{switch.name}->{self.name}",
+            obs=self.obs,
         )
         switch.add_port(self.name, self.rate_bps, downlink)
         switch.set_route(self.name, self.name)

@@ -25,10 +25,11 @@ The receiver sits at the ingress of the corrupting link.  It:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..analysis.stats import OccupancyTracker
 from ..core.engine import Simulator
+from ..obs.spans import NULL_SPANS
 from ..obs.trace import NULL_TRACER
 from ..packets.packet import (
     LG_HEADER_BYTES, LgAckHeader, Packet, PacketKind,
@@ -91,6 +92,7 @@ class LgReceiver:
         name: str = "lg-receiver",
         manage_port_hooks: bool = True,
         obs=None,
+        span_scope: Optional[str] = None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -100,6 +102,12 @@ class LgReceiver:
         self.name = name
         self.stats = ReceiverStats()
         self._tracer = obs.tracer if obs is not None else NULL_TRACER
+        self._spans = getattr(obs, "spans", NULL_SPANS) if obs is not None \
+            else NULL_SPANS
+        #: correlation scope for causal spans: the forward link's name
+        #: (the link opens the episode root under that scope).
+        self.span_scope = span_scope if span_scope is not None else name
+        self._pause_span = None
         self._retx_delay_hist = None
         self._pause_hist = None
         self._paused_at = None
@@ -197,6 +205,10 @@ class LgReceiver:
             if self._tracer.enabled:
                 self._tracer.end(self.sim.now, "lg.receiver", "pause",
                                  {"buffer_bytes": 0})
+            if self._pause_span is not None:
+                self._spans.end(self._pause_span, self.sim.now,
+                                args={"nb_fallback": True})
+                self._pause_span = None
             self._send_control(self._control_packet(PacketKind.LG_RESUME))
 
     # -- helpers ----------------------------------------------------------------
@@ -295,6 +307,13 @@ class LgReceiver:
                 "missing": len(missing_keys),
                 "first_seq": missing_keys[0][1], "era": missing_keys[0][0],
             })
+        if self._spans.enabled:
+            for era, seqno in missing_keys:
+                episode = self._spans.lookup((self.span_scope, era, seqno))
+                if episode is not None:
+                    self._spans.event(
+                        self.sim.now, "lg.receiver", "loss_notification",
+                        parent=episode, args={"seq": seqno, "era": era})
         self._send_control(notification)
 
     def _record_retx_arrival(self, seqno: int, era: int) -> None:
@@ -310,6 +329,13 @@ class LgReceiver:
                 self._tracer.instant(self.sim.now, "lg.receiver", "recovered", {
                     "seq": seqno, "era": era, "delay_ns": delay,
                 })
+            if self._spans.enabled:
+                episode = self._spans.lookup((self.span_scope, era, seqno))
+                if episode is not None:
+                    self._spans.event(
+                        self.sim.now, "lg.receiver", "recovered",
+                        parent=episode,
+                        args={"seq": seqno, "era": era, "delay_ns": delay})
 
     # -- Algorithm 1: de-duplication & in-order recovery ---------------------------
 
@@ -338,6 +364,13 @@ class LgReceiver:
                         self.sim.now, "lg.receiver", "overflow_drop",
                         {"seq": seqno, "era": era},
                     )
+                if self._spans.enabled:
+                    episode = self._spans.lookup(
+                        (self.span_scope, era, seqno))
+                    if episode is not None:
+                        self._spans.event(
+                            self.sim.now, "lg.receiver", "overflow_drop",
+                            parent=episode, args={"seq": seqno, "era": era})
                 return
             self._buffer[key] = packet
             self._buffer_update(packet.size)
@@ -381,6 +414,13 @@ class LgReceiver:
         self._drain()
 
     def _deliver(self, packet: Packet) -> None:
+        if self._spans.enabled and packet.lg is not None:
+            # Closes the recovery episode, if this seqNo opened one; a
+            # plain dict lookup-miss for the (vast) majority of packets.
+            self._finish_episode(
+                packet.lg.seqno, packet.lg.era,
+                "in_order_release" if self.config.ordered
+                else "reordered_release")
         packet.size -= LG_HEADER_BYTES
         packet.lg = None
         if packet.kind is PacketKind.LG_RETX:
@@ -388,6 +428,18 @@ class LgReceiver:
         self.stats.delivered += 1
         self.stats.delivered_bytes += packet.size
         self.forward(packet)
+
+    def _finish_episode(self, seqno: int, era: int, release_name: str,
+                        outcome: str = "recovered") -> None:
+        """Close the causal recovery-episode span bound to this seqNo."""
+        key = (self.span_scope, era, seqno)
+        episode = self._spans.lookup(key)
+        if episode is None:
+            return
+        self._spans.event(self.sim.now, "lg.receiver", release_name,
+                          parent=episode, args={"seq": seqno, "era": era})
+        self._spans.end(episode, self.sim.now, args={"outcome": outcome})
+        self._spans.unbind(key)
 
     # -- non-blocking (LinkGuardianNB) delivery ------------------------------------
 
@@ -428,6 +480,9 @@ class LgReceiver:
             self._tracer.instant(self.sim.now, "lg.receiver", "ack_no_timeout", {
                 "seq": key[1], "era": key[0],
             })
+        if self._spans.enabled:
+            self._finish_episode(key[1], key[0], "ack_no_timeout",
+                                 outcome="timeout")
         if not self.config.ordered:
             return
         if key == self._key(self._ack_no):
@@ -456,6 +511,9 @@ class LgReceiver:
                 self._tracer.instant(self.sim.now, "lg.receiver",
                                      "stall_advance",
                                      {"seq": key[1], "era": key[0]})
+            if self._spans.enabled:
+                self._finish_episode(key[1], key[0], "stall_advance",
+                                     outcome="stalled")
             self._ack_no.advance()
             self._drain()
 
@@ -480,6 +538,11 @@ class LgReceiver:
             if self._tracer.enabled:
                 self._tracer.begin(self.sim.now, "lg.receiver", "pause",
                                    {"buffer_bytes": depth})
+            if self._spans.enabled:
+                episode = self._spans.current(self.span_scope)
+                self._pause_span = self._spans.begin(
+                    self.sim.now, "lg.receiver", "pause", parent=episode,
+                    args={"buffer_bytes": depth})
             self._send_control(self._control_packet(PacketKind.LG_PAUSE))
         elif depth <= self.config.resume_threshold_bytes and self._paused_sender:
             self._paused_sender = False
@@ -491,6 +554,10 @@ class LgReceiver:
             if self._tracer.enabled:
                 self._tracer.end(self.sim.now, "lg.receiver", "pause",
                                  {"buffer_bytes": depth})
+            if self._pause_span is not None:
+                self._spans.end(self._pause_span, self.sim.now,
+                                args={"resume_buffer_bytes": depth})
+                self._pause_span = None
             self._send_control(self._control_packet(PacketKind.LG_RESUME))
 
     # -- reverse direction: ACKs (§3.1) --------------------------------------------------

@@ -6,6 +6,13 @@ record carries ``name``/``cat``/``ph``/``ts``/``pid``/``tid``.  Timestamps
 are **microseconds**; the simulator's integer nanoseconds are divided by
 1000.0 so sub-µs spacing survives as fractional ts.  Events are sorted by
 timestamp before export so traces stitched from several runs still load.
+
+Spans (:mod:`repro.obs.spans`) export two ways on top of the flat
+events: duration spans as complete ("X") records and instant children as
+"i" records, each carrying ``span_id``/``parent_id``/``trace_id`` in
+``args``; and one flow-event chain ("s"/"t"/"f", ``id`` = trace id) per
+recovery episode so Perfetto draws the causal arrows from the corruption
+drop through to the in-order release.
 """
 
 from __future__ import annotations
@@ -15,12 +22,15 @@ import math
 from typing import List, Optional
 
 from .metrics import MetricsRegistry
+from .spans import Span, SpanTracer
+from .timeline import TimelineRecorder
 from .trace import TraceEvent, Tracer
 
 __all__ = [
     "to_chrome_trace", "write_chrome_trace",
     "events_to_jsonl", "write_jsonl",
     "write_metrics_json", "write_metrics_prometheus",
+    "write_timeline_json",
 ]
 
 #: Stable thread-track ids per category so Perfetto groups related events.
@@ -32,6 +42,7 @@ _CATEGORY_TIDS = {
     "lg.receiver": 5,
     "corruptd": 6,
     "fleet": 7,
+    "episode": 8,
 }
 _DEFAULT_TID = 9
 
@@ -40,9 +51,60 @@ def _sorted_events(tracer: Tracer) -> List[TraceEvent]:
     return sorted(tracer.events(), key=lambda e: e.ts)
 
 
+def _span_args(span: Span) -> dict:
+    return {"span_id": span.span_id, "parent_id": span.parent_id,
+            "trace_id": span.trace_id, **(span.args or {})}
+
+
+def _span_records(spans: SpanTracer) -> List[dict]:
+    """Chrome-trace records for every retained span plus per-episode
+    flow chains."""
+    records: List[dict] = []
+    trees = spans.trees()
+    for span in spans.spans():
+        record = {
+            "name": span.name,
+            "cat": span.category,
+            "ts": span.start_ns / 1000.0,
+            "pid": 1,
+            "tid": _CATEGORY_TIDS.get(span.category, _DEFAULT_TID),
+            "args": _span_args(span),
+        }
+        if span.end_ns is None:
+            record["ph"] = "B"  # still open: unfinished slice
+        elif span.end_ns == span.start_ns:
+            record["ph"] = "i"
+            record["s"] = "t"
+        else:
+            record["ph"] = "X"
+            record["dur"] = (span.end_ns - span.start_ns) / 1000.0
+        records.append(record)
+    for trace_id, group in trees.items():
+        if len(group) < 2:
+            continue
+        root = group[0]
+        flow = {"name": root.name, "cat": "flow", "pid": 1, "id": trace_id}
+        records.append({**flow, "ph": "s", "ts": root.start_ns / 1000.0,
+                        "tid": _CATEGORY_TIDS.get(root.category, _DEFAULT_TID)})
+        for child in group[1:]:
+            records.append({
+                **flow, "ph": "t", "ts": child.start_ns / 1000.0,
+                "tid": _CATEGORY_TIDS.get(child.category, _DEFAULT_TID)})
+        if root.end_ns is not None:
+            # The finish must not precede any step (a pause child can
+            # straddle the release), so clamp it to the last step.
+            finish_ns = max([root.end_ns] + [c.start_ns for c in group[1:]])
+            records.append({
+                **flow, "ph": "f", "bp": "e", "ts": finish_ns / 1000.0,
+                "tid": _CATEGORY_TIDS.get(root.category, _DEFAULT_TID)})
+    return records
+
+
 def to_chrome_trace(tracer: Tracer,
-                    registry: Optional[MetricsRegistry] = None) -> dict:
-    """Render retained events as a Chrome trace-event JSON object."""
+                    registry: Optional[MetricsRegistry] = None,
+                    spans: Optional[SpanTracer] = None) -> dict:
+    """Render retained events (and spans, if given) as a Chrome
+    trace-event JSON object."""
     trace_events = []
     for event in _sorted_events(tracer):
         record = {
@@ -58,6 +120,9 @@ def to_chrome_trace(tracer: Tracer,
         elif event.phase == "C":
             record["args"] = {"value": 0}
         trace_events.append(record)
+    if spans is not None:
+        trace_events.extend(_span_records(spans))
+        trace_events.sort(key=lambda r: r["ts"])
     out = {
         "traceEvents": trace_events,
         "displayTimeUnit": "ns",
@@ -66,20 +131,32 @@ def to_chrome_trace(tracer: Tracer,
             "dropped": tracer.dropped,
         },
     }
+    if spans is not None:
+        out["otherData"]["spans"] = {
+            "started": spans.started,
+            "dropped": spans.dropped,
+        }
     if registry is not None:
         out["otherData"]["metrics"] = registry.snapshot()
     return out
 
 
 def write_chrome_trace(path: str, tracer: Tracer,
-                       registry: Optional[MetricsRegistry] = None) -> str:
+                       registry: Optional[MetricsRegistry] = None,
+                       spans: Optional[SpanTracer] = None) -> str:
     with open(path, "w") as handle:
-        json.dump(to_chrome_trace(tracer, registry), handle)
+        json.dump(to_chrome_trace(tracer, registry, spans=spans), handle)
     return path
 
 
-def events_to_jsonl(tracer: Tracer) -> str:
-    """One compact JSON object per line, oldest event first."""
+def events_to_jsonl(tracer: Tracer,
+                    spans: Optional[SpanTracer] = None) -> str:
+    """One compact JSON object per line, oldest event first.
+
+    Span records (marked ``"kind": "span"``, native-ns fields) follow
+    the event records, so existing line-by-line event readers keep
+    working unchanged.
+    """
     lines = []
     for event in _sorted_events(tracer):
         record = {
@@ -91,12 +168,17 @@ def events_to_jsonl(tracer: Tracer) -> str:
         if event.args:
             record["args"] = event.args
         lines.append(json.dumps(record, separators=(",", ":")))
+    if spans is not None:
+        for span in spans.spans():
+            record = {"kind": "span", **span.to_dict()}
+            lines.append(json.dumps(record, separators=(",", ":")))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def write_jsonl(path: str, tracer: Tracer) -> str:
+def write_jsonl(path: str, tracer: Tracer,
+                spans: Optional[SpanTracer] = None) -> str:
     with open(path, "w") as handle:
-        handle.write(events_to_jsonl(tracer))
+        handle.write(events_to_jsonl(tracer, spans=spans))
     return path
 
 
@@ -126,4 +208,12 @@ def write_metrics_json(path: str, registry: MetricsRegistry) -> str:
 def write_metrics_prometheus(path: str, registry: MetricsRegistry) -> str:
     with open(path, "w") as handle:
         handle.write(registry.prometheus_text())
+    return path
+
+
+def write_timeline_json(path: str, recorder: TimelineRecorder) -> str:
+    """Persist a flight-recorder series as strict JSON."""
+    with open(path, "w") as handle:
+        json.dump(_json_safe(recorder.series()), handle, sort_keys=True,
+                  allow_nan=False)
     return path

@@ -21,6 +21,7 @@ nothing is double-counted.
 from __future__ import annotations
 
 from bisect import bisect_left
+from hashlib import sha256
 from math import isfinite
 from typing import Callable, Dict, List, Sequence, Tuple
 
@@ -58,19 +59,26 @@ class Counter:
 
 
 class Gauge:
-    """A level that can move both ways; tracks its high watermark."""
+    """A level that can move both ways; tracks its high watermark.
 
-    __slots__ = ("name", "value", "high_watermark")
+    The watermark is the maximum *observed* value: a gauge that only
+    ever goes negative reports its true (negative) maximum, not the
+    zero it was initialized with.
+    """
+
+    __slots__ = ("name", "value", "high_watermark", "_seen")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
         self.high_watermark = 0
+        self._seen = False
 
     def set(self, value) -> None:
         self.value = value
-        if value > self.high_watermark:
+        if not self._seen or value > self.high_watermark:
             self.high_watermark = value
+            self._seen = True
 
     def add(self, delta) -> None:
         self.set(self.value + delta)
@@ -194,11 +202,31 @@ class MetricsRegistry:
             out[name] = provider()
         return out
 
+    def _exposition_names(self) -> Dict[str, str]:
+        """Unique exposition family name per dotted name.
+
+        ``_sanitize`` is lossy (``lg.sender`` and ``lg_sender`` both map
+        to ``lg_sender``), which would silently emit duplicate series.
+        Metric and provider names share one namespace here; the first
+        colliding name in sorted order keeps the plain form, later ones
+        get a short deterministic digest suffix.
+        """
+        taken: Dict[str, str] = {}
+        out: Dict[str, str] = {}
+        for original in sorted(set(self._metrics) | set(self._providers)):
+            flat = _sanitize(original)
+            if flat in taken and taken[flat] != original:
+                flat = f"{flat}_{sha256(original.encode()).hexdigest()[:6]}"
+            taken.setdefault(flat, original)
+            out[original] = flat
+        return out
+
     def prometheus_text(self) -> str:
         """Prometheus text-exposition dump of every numeric value."""
         lines: List[str] = []
+        exposition = self._exposition_names()
         for name, metric in sorted(self._metrics.items()):
-            flat = _sanitize(name)
+            flat = exposition[name]
             if isinstance(metric, Counter):
                 lines.append(f"# TYPE {flat} counter")
                 lines.append(f"{flat} {metric.value}")
@@ -216,7 +244,7 @@ class MetricsRegistry:
                 lines.append(f"{flat}_sum {metric.sum}")
                 lines.append(f"{flat}_count {metric.count}")
         for name, provider in sorted(self._providers.items()):
-            for key, value in _flatten(provider(), _sanitize(name)):
+            for key, value in _flatten(provider(), exposition[name]):
                 lines.append(f"{key} {value}")
         # An empty registry (no metrics, no providers — or providers whose
         # snapshots carried nothing numeric) exports as the empty string,

@@ -1,0 +1,42 @@
+"""Wall-clock phase timers for experiment cells.
+
+A :class:`PhaseTimer` accumulates real (not simulated) seconds per named
+phase — setup / run / collect, or anything a runner wants to break out —
+so a :class:`~repro.runner.harness.CellResult` can report where the
+wall-clock went.  Timings are diagnostics, never part of the canonical
+result form.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict
+
+__all__ = ["PhaseTimer"]
+
+
+class PhaseTimer:
+    """Accumulating named wall-clock phase timers."""
+
+    __slots__ = ("_seconds",)
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time a ``with`` block under ``name`` (accumulates on re-entry)."""
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name, time.perf_counter() - started)
+
+    def add(self, name: str, seconds: float) -> None:
+        self._seconds[name] = self._seconds.get(name, 0.0) + float(seconds)
+
+    def timings(self, digits: int = 6) -> Dict[str, float]:
+        """Phase → seconds, rounded for stable JSON output."""
+        return {name: round(value, digits)
+                for name, value in self._seconds.items()}

@@ -1,0 +1,179 @@
+"""Schema validation for exported observability artifacts.
+
+Pure-python structural validators (no jsonschema dependency) shared by
+the ``repro obs`` CLI verbs, the CI ``obs-smoke`` job, and the tests.
+Each validator returns a list of human-readable problems; an empty list
+means the artifact is well-formed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+__all__ = [
+    "validate_chrome_trace", "validate_events_jsonl", "validate_timeline",
+]
+
+_KNOWN_PHASES = {"i", "B", "E", "C", "X", "s", "t", "f"}
+
+
+def _check_record(record: Any, where: str, problems: List[str]) -> None:
+    if not isinstance(record, dict):
+        problems.append(f"{where}: not an object")
+        return
+    for field in ("name", "cat", "ph", "ts"):
+        if field not in record:
+            problems.append(f"{where}: missing field {field!r}")
+            return
+    if record["ph"] not in _KNOWN_PHASES:
+        problems.append(f"{where}: unknown phase {record['ph']!r}")
+    if not isinstance(record["ts"], (int, float)):
+        problems.append(f"{where}: non-numeric ts")
+    if record["ph"] == "X":
+        dur = record.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            problems.append(f"{where}: complete event needs dur >= 0")
+    if record["ph"] in ("s", "t", "f") and "id" not in record:
+        problems.append(f"{where}: flow event needs an id")
+
+
+def _check_flows(records: List[Dict[str, Any]],
+                 problems: List[str]) -> None:
+    """Flow chains must reload intact: per id exactly one start, steps
+    inside [start, finish], at most one finish, finish last."""
+    flows: Dict[Any, Dict[str, List[float]]] = {}
+    for record in records:
+        if not isinstance(record, dict):
+            continue
+        ph = record.get("ph")
+        if ph in ("s", "t", "f") and "id" in record:
+            group = flows.setdefault(record["id"], {"s": [], "t": [], "f": []})
+            group[ph].append(record.get("ts", 0))
+    for flow_id, group in flows.items():
+        if len(group["s"]) != 1:
+            problems.append(
+                f"flow {flow_id}: expected exactly one start, "
+                f"got {len(group['s'])}")
+            continue
+        if len(group["f"]) > 1:
+            problems.append(f"flow {flow_id}: multiple finish events")
+            continue
+        start = group["s"][0]
+        finish = group["f"][0] if group["f"] else None
+        for ts in group["t"]:
+            if ts < start:
+                problems.append(f"flow {flow_id}: step at {ts} before start")
+            if finish is not None and ts > finish:
+                problems.append(f"flow {flow_id}: step at {ts} after finish")
+        if finish is not None and finish < start:
+            problems.append(f"flow {flow_id}: finish before start")
+
+
+def _check_span_parents(span_args: List[Dict[str, Any]],
+                        problems: List[str]) -> None:
+    ids = {args["span_id"] for args in span_args if "span_id" in args}
+    for args in span_args:
+        parent = args.get("parent_id")
+        if parent is not None and parent not in ids:
+            problems.append(
+                f"span {args.get('span_id')}: parent {parent} not in artifact")
+
+
+def validate_chrome_trace(data: Any) -> List[str]:
+    """Validate a Perfetto/chrome-trace export (the ``--trace-out``
+    ``.json`` artifact), including span flow-link integrity."""
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        return ["top level: not an object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top level: missing traceEvents list"]
+    span_args: List[Dict[str, Any]] = []
+    last_ts = None
+    for index, record in enumerate(events):
+        _check_record(record, f"traceEvents[{index}]", problems)
+        if not isinstance(record, dict):
+            continue
+        ts = record.get("ts")
+        if isinstance(ts, (int, float)):
+            if last_ts is not None and ts < last_ts:
+                problems.append(f"traceEvents[{index}]: ts not sorted")
+            last_ts = ts
+        args = record.get("args")
+        if isinstance(args, dict) and "span_id" in args:
+            span_args.append(args)
+    _check_flows([r for r in events if isinstance(r, dict)], problems)
+    _check_span_parents(span_args, problems)
+    return problems
+
+
+def validate_events_jsonl(text: str) -> List[str]:
+    """Validate a ``--trace-out`` ``.jsonl`` artifact: native-ns event
+    records plus optional ``kind: span`` records."""
+    problems: List[str] = []
+    span_records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            problems.append(f"line {lineno}: not valid JSON")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {lineno}: not an object")
+            continue
+        if record.get("kind") == "span":
+            for field in ("span_id", "trace_id", "cat", "name", "start_ns"):
+                if field not in record:
+                    problems.append(f"line {lineno}: span missing {field!r}")
+            end = record.get("end_ns")
+            start = record.get("start_ns")
+            if (isinstance(end, (int, float)) and isinstance(start, (int, float))
+                    and end < start):
+                problems.append(f"line {lineno}: span ends before it starts")
+            span_records.append(record)
+            continue
+        for field in ("ts", "cat", "name", "ph"):
+            if field not in record:
+                problems.append(f"line {lineno}: event missing {field!r}")
+    _check_span_parents(span_records, problems)
+    return problems
+
+
+def validate_timeline(data: Any) -> List[str]:
+    """Validate a :meth:`TimelineRecorder.series` artifact (the
+    ``--timeline-out`` JSON)."""
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        return ["top level: not an object"]
+    interval = data.get("interval_ns")
+    if not isinstance(interval, int) or interval <= 0:
+        problems.append("interval_ns: must be a positive integer")
+    ts = data.get("ts_ns")
+    runs = data.get("run")
+    metrics = data.get("metrics")
+    if not isinstance(ts, list):
+        problems.append("ts_ns: missing sample timestamps")
+        return problems
+    if not isinstance(runs, list) or len(runs) != len(ts):
+        problems.append("run: must align with ts_ns")
+    if not isinstance(metrics, dict):
+        problems.append("metrics: missing column map")
+        return problems
+    for name, column in metrics.items():
+        if not isinstance(column, list) or len(column) != len(ts):
+            problems.append(
+                f"metrics[{name}]: column length != {len(ts)} samples")
+    # Within one run, simulated time must not go backwards.
+    prev: Dict[Any, Any] = {}
+    if isinstance(runs, list) and len(runs) == len(ts):
+        for index, (run, ts_ns) in enumerate(zip(runs, ts)):
+            if not isinstance(ts_ns, (int, float)):
+                problems.append(f"ts_ns[{index}]: non-numeric")
+                continue
+            if run in prev and ts_ns < prev[run]:
+                problems.append(f"ts_ns[{index}]: time reversed within run")
+            prev[run] = ts_ns
+    return problems

@@ -1,0 +1,192 @@
+"""Causal recovery-episode spans.
+
+The flat event ring (:mod:`repro.obs.trace`) answers "what happened";
+spans answer "what caused what".  A :class:`SpanTracer` issues records
+with ``span_id`` / ``parent_id`` / ``trace_id`` so a corruption drop,
+the LinkGuardian loss notification, each retransmission copy, the
+reordering-buffer release, and any pause/resume it triggers link into
+one recovery-episode tree (one ``trace_id`` per episode).
+
+Design constraints:
+
+* The tracer's ``sink`` hook is owned by the checker (it chains it);
+  spans therefore keep their *own* bounded storage and never touch the
+  event ring.
+* Components correlate a retransmission back to its episode through a
+  key map: ``bind((scope, era, seqno), span)`` at the corruption drop,
+  ``lookup``/``unbind`` downstream.  ``scope`` is the forward-link name,
+  so parallel protected links never cross wires.
+* Everything is guarded by ``enabled`` — a disabled tracer costs one
+  attribute read per call site (the overhead budget in DESIGN §5h).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Hashable, List, Optional
+
+__all__ = ["Span", "SpanTracer", "NULL_SPANS"]
+
+
+class Span:
+    """One node in a recovery-episode tree.
+
+    ``end_ns is None`` means the span is still open.  Instant children
+    (a drop, a retx fire) are spans whose ``end_ns == start_ns``.
+    """
+
+    __slots__ = ("span_id", "parent_id", "trace_id", "category", "name",
+                 "start_ns", "end_ns", "args")
+
+    def __init__(self, span_id: int, parent_id: Optional[int], trace_id: int,
+                 category: str, name: str, start_ns: int,
+                 args: Optional[Dict[str, Any]] = None) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.trace_id = trace_id
+        self.category = category
+        self.name = name
+        self.start_ns = int(start_ns)
+        self.end_ns: Optional[int] = None
+        self.args = args
+
+    @property
+    def open(self) -> bool:
+        return self.end_ns is None
+
+    @property
+    def duration_ns(self) -> int:
+        return 0 if self.end_ns is None else self.end_ns - self.start_ns
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "cat": self.category,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "args": self.args or {},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.open else f"dur={self.duration_ns}ns"
+        return (f"Span({self.span_id} parent={self.parent_id} "
+                f"trace={self.trace_id} {self.category}/{self.name} {state})")
+
+
+class SpanTracer:
+    """Bounded store of causal spans plus the episode correlation map.
+
+    Completed spans live in a ring (oldest evicted first, counted in
+    ``dropped``); open spans are pinned until finished so an episode
+    tree is never torn in half by eviction pressure.
+    """
+
+    __slots__ = ("enabled", "capacity", "started", "dropped",
+                 "_next_id", "_completed", "_open", "_binds", "_scope_roots")
+
+    def __init__(self, capacity: int = 4096, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.capacity = int(capacity)
+        self.started = 0
+        self.dropped = 0
+        self._next_id = 1
+        self._completed: deque = deque()
+        self._open: Dict[int, Span] = {}
+        self._binds: Dict[Hashable, Span] = {}
+        self._scope_roots: Dict[str, Span] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def begin(self, ts: int, category: str, name: str,
+              parent: Optional[Span] = None, args: Optional[Dict] = None,
+              scope: Optional[str] = None) -> Span:
+        """Open a span.  With no ``parent`` it is an episode root (its
+        ``trace_id`` is its own id); with ``scope`` it also becomes the
+        scope's *current* root until finished (pause spans attach to
+        it)."""
+        span_id = self._next_id
+        self._next_id += 1
+        trace_id = parent.trace_id if parent is not None else span_id
+        parent_id = parent.span_id if parent is not None else None
+        span = Span(span_id, parent_id, trace_id, category, name, ts, args)
+        self.started += 1
+        self._open[span_id] = span
+        if scope is not None and parent is None:
+            self._scope_roots[scope] = span
+        return span
+
+    def event(self, ts: int, category: str, name: str,
+              parent: Optional[Span] = None,
+              args: Optional[Dict] = None) -> Span:
+        """Record an instant child (``end == start``)."""
+        span = self.begin(ts, category, name, parent=parent, args=args)
+        self.end(span, ts)
+        return span
+
+    def end(self, span: Span, ts: int,
+            args: Optional[Dict] = None) -> None:
+        """Finish an open span; merges ``args`` into the span's."""
+        if span.end_ns is not None:
+            return
+        span.end_ns = int(ts)
+        if args:
+            span.args = {**(span.args or {}), **args}
+        self._open.pop(span.span_id, None)
+        for scope, root in list(self._scope_roots.items()):
+            if root is span:
+                del self._scope_roots[scope]
+        self._completed.append(span)
+        while len(self._completed) > self.capacity:
+            self._completed.popleft()
+            self.dropped += 1
+
+    # -- correlation -----------------------------------------------------
+
+    def bind(self, key: Hashable, span: Span) -> None:
+        self._binds[key] = span
+
+    def lookup(self, key: Hashable) -> Optional[Span]:
+        return self._binds.get(key)
+
+    def unbind(self, key: Hashable) -> None:
+        self._binds.pop(key, None)
+
+    def current(self, scope: str) -> Optional[Span]:
+        """The most recent still-open episode root for ``scope`` (the
+        parent for pause/resume spans), or None."""
+        return self._scope_roots.get(scope)
+
+    # -- reading ---------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        """All retained spans: completed (oldest first) then still-open,
+        ordered by start time for stable export."""
+        live = sorted(self._open.values(),
+                      key=lambda s: (s.start_ns, s.span_id))
+        return list(self._completed) + live
+
+    def trees(self) -> Dict[int, List[Span]]:
+        """Retained spans grouped by ``trace_id`` (one entry per
+        episode), each group ordered by start time."""
+        groups: Dict[int, List[Span]] = {}
+        for span in self.spans():
+            groups.setdefault(span.trace_id, []).append(span)
+        for group in groups.values():
+            group.sort(key=lambda s: (s.start_ns, s.span_id))
+        return groups
+
+    def clear(self) -> None:
+        self._completed.clear()
+        self._open.clear()
+        self._binds.clear()
+        self._scope_roots.clear()
+        self.started = 0
+        self.dropped = 0
+
+
+#: Shared disabled instance — call sites hold a reference and check
+#: ``.enabled`` so the off path costs one attribute read.
+NULL_SPANS = SpanTracer(capacity=1, enabled=False)

@@ -16,14 +16,31 @@ everything else kind-specific rides in ``spec.params``.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Union
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
 
+from ..obs.profile import PhaseTimer
 from .harness import CellResult
 from .spec import ExperimentSpec
 
-__all__ = ["register", "run_cell", "experiment_kinds"]
+__all__ = ["RunContext", "register", "run_cell", "experiment_kinds"]
 
-_RUNNERS: Dict[str, Callable[[ExperimentSpec], CellResult]] = {}
+
+@dataclass
+class RunContext:
+    """Per-cell execution context handed to every registered runner.
+
+    ``obs`` is the cell's :class:`~repro.obs.Observability` (built from
+    ``spec.obs``, or None for an uninstrumented cell); runners that can
+    thread it into their experiment should.  ``phases`` accumulates
+    wall-clock phase timings that end up in ``CellResult.timings``.
+    """
+
+    obs: Optional[Any] = None
+    phases: PhaseTimer = field(default_factory=PhaseTimer)
+
+
+_RUNNERS: Dict[str, Callable[[ExperimentSpec, RunContext], CellResult]] = {}
 
 
 def register(kind: str):
@@ -38,12 +55,31 @@ def experiment_kinds() -> List[str]:
     return sorted(_RUNNERS)
 
 
-def run_cell(spec: Union[ExperimentSpec, dict]) -> CellResult:
+def _build_obs(options: Dict[str, Any]):
+    """Materialise ``spec.obs`` into an Observability (None when empty).
+
+    Recognised keys: ``trace`` (bool, default True), ``spans`` (bool),
+    ``timeline`` (True or TimelineRecorder kwargs).
+    """
+    if not options:
+        return None
+    from ..obs import Observability
+
+    return Observability(
+        tracing=bool(options.get("trace", True)),
+        spans=bool(options.get("spans", False)),
+        timeline=options.get("timeline"),
+    )
+
+
+def run_cell(spec: Union[ExperimentSpec, dict],
+             obs: Optional[Any] = None) -> CellResult:
     """Run one cell and return its unified result (wall clock attached).
 
     ``spec.backend`` selects the execution engine: ``"packet"`` runs the
     registered event-driven experiment, ``"fastpath"`` routes to the
-    vectorized analytic backend (:mod:`repro.fastpath`).
+    vectorized analytic backend (:mod:`repro.fastpath`).  ``obs``
+    overrides the Observability built from ``spec.obs`` (CLI use).
     """
     if isinstance(spec, dict):
         spec = ExperimentSpec.from_dict(spec)
@@ -61,10 +97,35 @@ def run_cell(spec: Union[ExperimentSpec, dict]) -> CellResult:
             f"unknown experiment kind {spec.kind!r}; "
             f"known: {experiment_kinds()}"
         ) from None
+    ctx = RunContext(obs=obs if obs is not None else _build_obs(spec.obs))
     started = time.perf_counter()
-    result = runner(spec)
+    result = runner(spec, ctx)
     result.wall_s = time.perf_counter() - started
+    _attach_diagnostics(result, ctx)
     return result
+
+
+def _attach_diagnostics(result: CellResult, ctx: RunContext) -> None:
+    """Phase timings and obs artifacts onto the result (never canonical)."""
+    timings = ctx.phases.timings()
+    timings["total_s"] = round(result.wall_s, 6)
+    if ctx.obs is not None:
+        engine = ctx.obs.registry.snapshot().get("engine")
+        if isinstance(engine, dict):
+            # Wall-clock the kernel spent inside run() — the engine hot
+            # loop (TrialHarness-driven experiments step() instead, so
+            # their hot loop is the "run" phase).
+            timings["engine_run_s"] = round(engine.get("wall_seconds", 0.0), 6)
+        if ctx.obs.timeline is not None:
+            ctx.obs.timeline.stop()
+            result.artifacts["timeline"] = ctx.obs.timeline.series()
+        if ctx.obs.spans.enabled:
+            result.artifacts["spans"] = {
+                "started": ctx.obs.spans.started,
+                "dropped": ctx.obs.spans.dropped,
+                "episodes": len(ctx.obs.spans.trees()),
+            }
+    result.timings = timings
 
 
 def _result(spec: ExperimentSpec, metrics: dict, series: dict = None) -> CellResult:
@@ -87,7 +148,7 @@ def _lg_config(spec: ExperimentSpec):
 
 
 @register("fct")
-def _run_fct(spec: ExperimentSpec) -> CellResult:
+def _run_fct(spec: ExperimentSpec, ctx: RunContext) -> CellResult:
     from ..experiments.fct import run_fct_experiment
 
     result = run_fct_experiment(
@@ -99,6 +160,8 @@ def _run_fct(spec: ExperimentSpec) -> CellResult:
         loss_rate=spec.loss_rate,
         seed=spec.seed,
         lg_config=_lg_config(spec),
+        obs=ctx.obs,
+        phases=ctx.phases,
         **spec.params,
     )
     metrics = result.summary()
@@ -109,7 +172,7 @@ def _run_fct(spec: ExperimentSpec) -> CellResult:
 
 
 @register("goodput")
-def _run_goodput(spec: ExperimentSpec) -> CellResult:
+def _run_goodput(spec: ExperimentSpec, ctx: RunContext) -> CellResult:
     from ..experiments.goodput import run_goodput
 
     row = run_goodput(
@@ -123,7 +186,7 @@ def _run_goodput(spec: ExperimentSpec) -> CellResult:
 
 
 @register("multihop")
-def _run_multihop(spec: ExperimentSpec) -> CellResult:
+def _run_multihop(spec: ExperimentSpec, ctx: RunContext) -> CellResult:
     from ..experiments.multihop import run_multihop_fct
 
     row = run_multihop_fct(
@@ -140,7 +203,7 @@ def _run_multihop(spec: ExperimentSpec) -> CellResult:
 
 
 @register("stress")
-def _run_stress(spec: ExperimentSpec) -> CellResult:
+def _run_stress(spec: ExperimentSpec, ctx: RunContext) -> CellResult:
     from ..experiments.stress import run_stress_test
 
     config = None
@@ -159,6 +222,7 @@ def _run_stress(spec: ExperimentSpec) -> CellResult:
         ordered=spec.scenario != "lgnb",
         seed=spec.seed,
         config=config,
+        obs=ctx.obs,
         **spec.params,
     )
     metrics = dict(result.row())
@@ -175,7 +239,7 @@ def _run_stress(spec: ExperimentSpec) -> CellResult:
 
 
 @register("timeline")
-def _run_timeline(spec: ExperimentSpec) -> CellResult:
+def _run_timeline(spec: ExperimentSpec, ctx: RunContext) -> CellResult:
     from ..experiments.timeline import run_timeline
 
     result = run_timeline(
@@ -183,6 +247,7 @@ def _run_timeline(spec: ExperimentSpec) -> CellResult:
         rate_gbps=spec.rate_gbps,
         loss_rate=spec.loss_rate,
         seed=spec.seed,
+        obs=ctx.obs,
         **spec.params,
     )
     metrics = {
@@ -205,7 +270,7 @@ def _run_timeline(spec: ExperimentSpec) -> CellResult:
 
 
 @register("rdma_reorder")
-def _run_rdma_reorder(spec: ExperimentSpec) -> CellResult:
+def _run_rdma_reorder(spec: ExperimentSpec, ctx: RunContext) -> CellResult:
     from ..experiments.rdma_future import run_rdma_case
 
     row = run_rdma_case(
@@ -220,7 +285,7 @@ def _run_rdma_reorder(spec: ExperimentSpec) -> CellResult:
 
 
 @register("deployment")
-def _run_deployment(spec: ExperimentSpec) -> CellResult:
+def _run_deployment(spec: ExperimentSpec, ctx: RunContext) -> CellResult:
     from ..experiments.deployment import run_deployment_comparison
 
     comparison = run_deployment_comparison(seed=spec.seed, **spec.params)
@@ -228,7 +293,7 @@ def _run_deployment(spec: ExperimentSpec) -> CellResult:
 
 
 @register("incremental")
-def _run_incremental(spec: ExperimentSpec) -> CellResult:
+def _run_incremental(spec: ExperimentSpec, ctx: RunContext) -> CellResult:
     from ..experiments.incremental import run_incremental_deployment
 
     fraction = spec.params.get("fraction", 0.5)
@@ -239,7 +304,7 @@ def _run_incremental(spec: ExperimentSpec) -> CellResult:
 
 
 @register("fleet_shard")
-def _run_fleet_shard(spec: ExperimentSpec) -> CellResult:
+def _run_fleet_shard(spec: ExperimentSpec, ctx: RunContext) -> CellResult:
     """One shard of a fleet campaign: generate that link range's episodes.
 
     ``spec.params`` carries the serialized campaign plus the shard index;
@@ -259,12 +324,18 @@ def _run_fleet_shard(spec: ExperimentSpec) -> CellResult:
         "n_links": hi - lo,
         "n_episodes": len(episodes),
     }
-    return _result(spec, metrics,
-                   {"episodes": [e.to_dict() for e in episodes]})
+    result = _result(spec, metrics,
+                     {"episodes": [e.to_dict() for e in episodes]})
+    # Longitudinal per-shard health series; rides in artifacts (not the
+    # canonical form) so campaign byte-identity stays shard-independent.
+    from ..fleet.campaign import shard_timeline
+
+    result.artifacts["timeline"] = shard_timeline(campaign, episodes)
+    return result
 
 
 @register("checker")
-def _run_checker(spec: ExperimentSpec) -> CellResult:
+def _run_checker(spec: ExperimentSpec, ctx: RunContext) -> CellResult:
     """Conformance checking as a runner cell.
 
     With ``spec.params["scenario"]`` present, runs that one fault
@@ -285,7 +356,7 @@ def _run_checker(spec: ExperimentSpec) -> CellResult:
     if "scenario" in spec.params:
         scenario = FaultScenario.from_dict(spec.params["scenario"])
         base.seed = spec.seed
-        outcome = run_scenario(scenario, base)
+        outcome = run_scenario(scenario, base, obs=ctx.obs)
         metrics = {
             "ok": outcome.ok,
             "completed": outcome.completed,
@@ -315,7 +386,7 @@ def _run_checker(spec: ExperimentSpec) -> CellResult:
 
 
 @register("fig01")
-def _run_fig01(spec: ExperimentSpec) -> CellResult:
+def _run_fig01(spec: ExperimentSpec, ctx: RunContext) -> CellResult:
     from ..experiments.figures import figure1_attenuation_series
 
     series = figure1_attenuation_series(**spec.params)
@@ -324,7 +395,7 @@ def _run_fig01(spec: ExperimentSpec) -> CellResult:
 
 
 @register("fig02")
-def _run_fig02(spec: ExperimentSpec) -> CellResult:
+def _run_fig02(spec: ExperimentSpec, ctx: RunContext) -> CellResult:
     from ..experiments.figures import figure2_flow_size_cdfs
 
     table = figure2_flow_size_cdfs(**spec.params)
@@ -333,7 +404,7 @@ def _run_fig02(spec: ExperimentSpec) -> CellResult:
 
 
 @register("tab01")
-def _run_tab01(spec: ExperimentSpec) -> CellResult:
+def _run_tab01(spec: ExperimentSpec, ctx: RunContext) -> CellResult:
     from ..experiments.figures import table1_loss_buckets
 
     rows = table1_loss_buckets(seed=spec.seed, **spec.params)
@@ -341,7 +412,7 @@ def _run_tab01(spec: ExperimentSpec) -> CellResult:
 
 
 @register("fig20")
-def _run_fig20(spec: ExperimentSpec) -> CellResult:
+def _run_fig20(spec: ExperimentSpec, ctx: RunContext) -> CellResult:
     from ..experiments.figures import figure20_consecutive_losses
 
     results = figure20_consecutive_losses(seed=spec.seed, **spec.params)

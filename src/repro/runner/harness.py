@@ -60,12 +60,26 @@ class CellResult:
     #: which execution backend produced this cell ("packet"/"fastpath");
     #: deterministic, so part of the canonical form.
     backend: str = "packet"
+    #: wall-clock phase breakdown (setup/run/collect/engine...); like
+    #: ``wall_s``, non-deterministic, so excluded from the canonical form
+    #: and from serialized output when empty.
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: attached diagnostic artifacts (timeline series, span summaries);
+    #: execution-dependent, so excluded from the canonical form and from
+    #: serialized output when empty.
+    artifacts: Dict[str, Any] = field(default_factory=dict)
 
     def canonical_json(self) -> str:
         """Deterministic serialization: same seed ⇒ byte-identical."""
+        # Diagnostics never perturb the canonical form: ``spec.obs`` is
+        # dropped (like grid_key) so an instrumented run stays
+        # byte-identical to the plain run it observes.
+        spec = self.spec
+        if isinstance(spec, dict) and "obs" in spec:
+            spec = {k: v for k, v in spec.items() if k != "obs"}
         data = {
             "cell_id": self.cell_id,
-            "spec": self.spec,
+            "spec": spec,
             "metrics": self.metrics,
             "series": self.series,
             "backend": self.backend,
@@ -83,6 +97,10 @@ class CellResult:
             "wall_s": self.wall_s,
             "backend": self.backend,
         }
+        if self.timings:
+            data["timings"] = self.timings
+        if self.artifacts:
+            data["artifacts"] = self.artifacts
         return json.dumps(data, sort_keys=True, separators=(",", ":"),
                           default=_jsonable)
 
@@ -96,6 +114,8 @@ class CellResult:
             series=data.get("series", {}),
             wall_s=data.get("wall_s", 0.0),
             backend=data.get("backend", "packet"),
+            timings=data.get("timings", {}),
+            artifacts=data.get("artifacts", {}),
         )
 
     def row(self) -> Dict[str, Any]:

@@ -52,9 +52,13 @@ class ExperimentSpec:
     backend: str = "packet"
     lg: Dict[str, Any] = field(default_factory=dict)
     params: Dict[str, Any] = field(default_factory=dict)
+    #: observability options for the run: ``{"spans": True, "timeline":
+    #: {...}, "trace": False}``.  Diagnostics-only — omitted from the
+    #: serialized form when empty so existing cell ids stay stable.
+    obs: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "kind": self.kind,
             "transport": self.transport,
             "scenario": self.scenario,
@@ -67,6 +71,9 @@ class ExperimentSpec:
             "lg": dict(self.lg),
             "params": dict(self.params),
         }
+        if self.obs:
+            data["obs"] = dict(self.obs)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
@@ -77,8 +84,15 @@ class ExperimentSpec:
         return cls(**data)
 
     def canonical_json(self) -> str:
-        """Deterministic serialization (sorted keys, no whitespace)."""
-        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        """Deterministic serialization (sorted keys, no whitespace).
+
+        ``obs`` is excluded: instrumentation is diagnostics-only, so an
+        instrumented cell keeps the plain cell's identity (same
+        ``cell_id``, same checkpoint row key).
+        """
+        data = self.to_dict()
+        data.pop("obs", None)
+        return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
     def grid_key(self) -> str:
         """The cell's coordinates excluding ``seed`` — what per-cell seeds
@@ -89,6 +103,7 @@ class ExperimentSpec:
         data = self.to_dict()
         del data["seed"]
         del data["backend"]
+        data.pop("obs", None)  # diagnostics never perturb derived seeds
         return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
     def cell_id(self) -> str:

@@ -1,0 +1,464 @@
+"""Tests for obs v2: causal spans, flight recorder, profiling, CLI verbs."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_SPANS, MetricsRegistry, Observability, PhaseTimer, SpanTracer,
+    TimelineRecorder, Tracer, events_to_jsonl, to_chrome_trace,
+)
+from repro.obs.schema import (
+    validate_chrome_trace, validate_events_jsonl, validate_timeline,
+)
+from repro.obs.timeline import numeric_leaves
+
+
+class TestGaugeWatermark:
+    def test_negative_gauge_reports_true_maximum(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("credit")
+        gauge.set(-5)
+        gauge.set(-2)
+        gauge.set(-9)
+        assert gauge.high_watermark == -2
+
+    def test_untouched_gauge_watermark_is_zero(self):
+        assert MetricsRegistry().gauge("depth").high_watermark == 0
+
+    def test_positive_behaviour_unchanged(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.set(4)
+        assert gauge.high_watermark == 10
+        gauge.add(-20)
+        assert gauge.value == -16
+        assert gauge.high_watermark == 10
+
+
+class TestPrometheusNameCollisions:
+    def test_colliding_names_disambiguated(self):
+        reg = MetricsRegistry()
+        reg.counter("lg.sender").inc(1)
+        reg.counter("lg_sender").inc(2)
+        text = reg.prometheus_text()
+        families = [line.split(" ")[2] for line in text.splitlines()
+                    if line.startswith("# TYPE")]
+        assert len(families) == len(set(families)) == 2
+        # One keeps the plain form, the other gets a digest suffix.
+        assert "lg_sender" in families
+        assert any(f.startswith("lg_sender_") and f != "lg_sender"
+                   for f in families)
+
+    def test_disambiguation_is_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("lg.sender").inc()
+            reg.counter("lg_sender").inc()
+            return reg.prometheus_text()
+
+        assert build() == build()
+
+    def test_provider_vs_metric_collision(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc(7)
+        reg.register_provider("a_b", lambda: {"x": 1})
+        lines = reg.prometheus_text().splitlines()
+        sample_names = {line.split(" ")[0] for line in lines
+                        if not line.startswith("#")}
+        # The provider's a_b_x must not shadow or collide with the
+        # counter family; every exported sample name is unique.
+        assert len(sample_names) == len(
+            [line for line in lines if not line.startswith("#")])
+
+    def test_non_colliding_names_unchanged(self):
+        reg = MetricsRegistry()
+        reg.counter("lg.sender.retx").inc(3)
+        assert "lg_sender_retx 3" in reg.prometheus_text()
+
+
+class TestTracerSinkAcrossWraparound:
+    """Satellite: the live sink sees every event exactly once even when
+    the ring wraps, and ``events()`` stays emission-ordered."""
+
+    def test_sink_sees_each_event_exactly_once(self):
+        tracer = Tracer(capacity=4)
+        seen = []
+        tracer.sink = seen.append
+        for i in range(11):
+            tracer.instant(i, "t", f"e{i}")
+        assert [e.name for e in seen] == [f"e{i}" for i in range(11)]
+        # The ring retained only the newest capacity-many...
+        assert [e.name for e in tracer.events()] == ["e7", "e8", "e9", "e10"]
+        # ...in emission order, with the loss accounted for.
+        assert tracer.dropped == 7
+
+    def test_sink_receives_event_before_overwrite(self):
+        tracer = Tracer(capacity=1)
+        order = []
+
+        def sink(event):
+            # At sink time the event just emitted must still be readable.
+            assert tracer.events()[-1] is event
+            order.append(event.name)
+
+        tracer.sink = sink
+        tracer.instant(0, "t", "a")
+        tracer.instant(1, "t", "b")
+        assert order == ["a", "b"]
+
+    def test_events_emission_ordered_after_wrap(self):
+        tracer = Tracer(capacity=8)
+        # Timestamps deliberately NOT monotone: order must follow
+        # emission, not ts.
+        stamps = [5, 3, 9, 1, 7, 2, 8, 4, 6, 0]
+        for index, ts in enumerate(stamps):
+            tracer.instant(ts, "t", f"e{index}")
+        assert [e.name for e in tracer.events()] == [
+            f"e{i}" for i in range(2, 10)]
+
+
+class TestSpanTracer:
+    def test_root_and_children_share_trace_id(self):
+        spans = SpanTracer()
+        root = spans.begin(100, "episode", "recovery_episode")
+        child = spans.event(150, "lg.receiver", "loss_notification",
+                            parent=root)
+        assert root.trace_id == root.span_id
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.end_ns == child.start_ns  # instant
+
+    def test_end_is_idempotent_and_merges_args(self):
+        spans = SpanTracer()
+        span = spans.begin(0, "c", "n", args={"a": 1})
+        spans.end(span, 10, args={"b": 2})
+        spans.end(span, 99, args={"a": 9})  # second end ignored
+        assert span.end_ns == 10
+        assert span.args == {"a": 1, "b": 2}
+
+    def test_eviction_pins_open_spans(self):
+        spans = SpanTracer(capacity=2)
+        root = spans.begin(0, "episode", "open_root")
+        for i in range(5):
+            spans.event(i, "c", f"e{i}", parent=root)
+        assert spans.dropped == 3
+        retained = spans.spans()
+        assert root in retained  # open span survives eviction pressure
+        assert len([s for s in retained if not s.open]) == 2
+
+    def test_bind_lookup_unbind(self):
+        spans = SpanTracer()
+        span = spans.begin(0, "episode", "r")
+        key = ("sw2->sw6", 0, 42)
+        spans.bind(key, span)
+        assert spans.lookup(key) is span
+        spans.unbind(key)
+        assert spans.lookup(key) is None
+        spans.unbind(key)  # idempotent
+
+    def test_scope_current_cleared_on_end(self):
+        spans = SpanTracer()
+        root = spans.begin(0, "episode", "r", scope="link-a")
+        assert spans.current("link-a") is root
+        assert spans.current("link-b") is None
+        spans.end(root, 5)
+        assert spans.current("link-a") is None
+
+    def test_trees_groups_by_episode_root_first(self):
+        spans = SpanTracer()
+        r1 = spans.begin(0, "episode", "r1")
+        spans.event(5, "c", "c1", parent=r1)
+        r2 = spans.begin(10, "episode", "r2")
+        spans.end(r1, 7)
+        spans.end(r2, 12)
+        trees = spans.trees()
+        assert set(trees) == {r1.trace_id, r2.trace_id}
+        assert [s.name for s in trees[r1.trace_id]] == ["r1", "c1"]
+
+    def test_disabled_instance_records_nothing_on_end(self):
+        assert not NULL_SPANS.enabled
+        # Call sites guard with .enabled; the instance itself must still
+        # be safe to query.
+        assert NULL_SPANS.spans() == []
+        assert NULL_SPANS.current("x") is None
+
+    def test_clear_resets_counters(self):
+        spans = SpanTracer(capacity=1)
+        root = spans.begin(0, "e", "r")
+        spans.event(1, "c", "a", parent=root)
+        spans.event(2, "c", "b", parent=root)
+        spans.clear()
+        assert spans.spans() == []
+        assert spans.started == 0 and spans.dropped == 0
+
+
+class TestTimelineRecorder:
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError):
+            TimelineRecorder(MetricsRegistry(), interval_ns=0)
+
+    def test_samples_on_simulated_cadence(self):
+        from repro.core.engine import Simulator
+
+        obs = Observability(timeline={"interval_ns": 1_000})
+        sim = Simulator(obs=obs)
+        sim.schedule(5_000, lambda: None)
+        # until= bounds the run: the recorder's tick re-arms itself, so
+        # a run-to-empty would never return (same property as LG's
+        # self-replenishing queues; see TrialHarness).
+        sim.run(until=5_000)
+        series = obs.timeline.series()
+        assert series["ts_ns"][:6] == [0, 1_000, 2_000, 3_000, 4_000, 5_000]
+        assert validate_timeline(series) == []
+        assert "engine.sim_time_ns" in series["metrics"]
+
+    def test_run_counter_distinguishes_simulators(self):
+        from repro.core.engine import Simulator
+
+        obs = Observability(timeline={"interval_ns": 1_000})
+        for _ in range(2):
+            sim = Simulator(obs=obs)
+            sim.schedule(1_500, lambda: None)
+            sim.run(until=1_500)
+        series = obs.timeline.series()
+        assert sorted(set(series["run"])) == [1, 2]
+        # Time restarts per run but must stay monotone within each.
+        assert validate_timeline(series) == []
+
+    def test_stop_halts_sampling(self):
+        from repro.core.engine import Simulator
+
+        obs = Observability(timeline={"interval_ns": 1_000})
+        sim = Simulator(obs=obs)
+        sim.schedule(10_000, lambda: None)
+        obs.timeline.stop()
+        sim.run()
+        assert obs.timeline.sampled <= 1
+
+    def test_capacity_bounds_samples(self):
+        recorder = TimelineRecorder(MetricsRegistry(), interval_ns=1,
+                                    capacity=3)
+        for ts in range(10):
+            recorder.sample(ts, run=1)
+        series = recorder.series()
+        assert series["ts_ns"] == [7, 8, 9]
+        assert series["dropped"] == 7 and series["sampled"] == 10
+
+    def test_include_filter(self):
+        reg = MetricsRegistry()
+        reg.counter("lg.sender.retx").inc()
+        reg.counter("engine.events").inc()
+        recorder = TimelineRecorder(reg, interval_ns=1, include=("lg.",))
+        recorder.sample(0, run=1)
+        assert set(recorder.series()["metrics"]) == {"lg.sender.retx.value"}
+
+    def test_late_metric_columns_padded(self):
+        reg = MetricsRegistry()
+        state = {}
+        reg.register_provider("comp", lambda: dict(state))
+        recorder = TimelineRecorder(reg, interval_ns=1)
+        recorder.sample(0, run=1)
+        state["late"] = 7
+        recorder.sample(1, run=1)
+        series = recorder.series()
+        assert series["metrics"]["comp.late"] == [None, 7]
+        assert validate_timeline(series) == []
+
+    def test_numeric_leaves_flattening(self):
+        flat = numeric_leaves({
+            "lg": {"active": True, "depth": 3,
+                   "hist": {"type": "histogram", "count": 2, "sum": 10,
+                            "buckets": {10: 2}}},
+            "rate": float("nan"),
+            "name": "ignored",
+        })
+        assert flat == {"lg.active": 1, "lg.depth": 3,
+                        "lg.hist.count": 2, "lg.hist.sum": 10}
+
+
+class TestSchemaValidators:
+    def test_valid_trace_passes(self):
+        trace = {"traceEvents": [
+            {"name": "a", "cat": "c", "ph": "i", "ts": 1.0},
+            {"name": "b", "cat": "c", "ph": "X", "ts": 2.0, "dur": 1.0},
+        ]}
+        assert validate_chrome_trace(trace) == []
+
+    def test_unknown_phase_and_missing_dur_flagged(self):
+        trace = {"traceEvents": [
+            {"name": "a", "cat": "c", "ph": "Z", "ts": 1.0},
+            {"name": "b", "cat": "c", "ph": "X", "ts": 2.0},
+        ]}
+        problems = validate_chrome_trace(trace)
+        assert any("unknown phase" in p for p in problems)
+        assert any("dur" in p for p in problems)
+
+    def test_unsorted_ts_flagged(self):
+        trace = {"traceEvents": [
+            {"name": "a", "cat": "c", "ph": "i", "ts": 5.0},
+            {"name": "b", "cat": "c", "ph": "i", "ts": 1.0},
+        ]}
+        assert any("not sorted" in p for p in validate_chrome_trace(trace))
+
+    def test_flow_integrity(self):
+        base = {"name": "f", "cat": "flow", "pid": 1, "id": 9}
+        trace = {"traceEvents": [
+            {**base, "ph": "s", "ts": 1.0},
+            {**base, "ph": "s", "ts": 2.0},
+        ]}
+        assert any("exactly one start" in p
+                   for p in validate_chrome_trace(trace))
+        orphan = {"traceEvents": [
+            {"name": "f", "cat": "flow", "ph": "t", "ts": 1.0}]}
+        assert any("needs an id" in p for p in validate_chrome_trace(orphan))
+
+    def test_dangling_span_parent_flagged(self):
+        trace = {"traceEvents": [
+            {"name": "c", "cat": "e", "ph": "i", "ts": 1.0,
+             "args": {"span_id": 2, "parent_id": 99, "trace_id": 1}},
+        ]}
+        assert any("parent 99" in p for p in validate_chrome_trace(trace))
+
+    def test_jsonl_validator(self):
+        good = ('{"ts": 1, "cat": "c", "name": "a", "ph": "i"}\n'
+                '{"kind": "span", "span_id": 1, "trace_id": 1, "cat": "e",'
+                ' "name": "r", "start_ns": 0, "end_ns": 5}\n')
+        assert validate_events_jsonl(good) == []
+        bad = '{"kind": "span", "span_id": 1}\nnot json\n'
+        problems = validate_events_jsonl(bad)
+        assert any("span missing" in p for p in problems)
+        assert any("not valid JSON" in p for p in problems)
+
+    def test_timeline_validator(self):
+        assert validate_timeline({"bad": True}) != []
+        misaligned = {"interval_ns": 10, "run": [1], "ts_ns": [0, 1],
+                      "metrics": {"m": [1]}}
+        problems = validate_timeline(misaligned)
+        assert any("align" in p for p in problems)
+        assert any("column length" in p for p in problems)
+        reversed_time = {"interval_ns": 10, "run": [1, 1], "ts_ns": [5, 1],
+                         "metrics": {}}
+        assert any("reversed" in p for p in validate_timeline(reversed_time))
+
+
+def _single_loss_run():
+    from repro.checker.scenarios import CheckConfig, FaultScenario, run_scenario
+
+    obs = Observability(spans=True)
+    scenario = FaultScenario(name="one-loss",
+                             drops=[{"kind": "data", "index": 5}])
+    outcome = run_scenario(scenario, CheckConfig(n_packets=20), obs=obs)
+    return obs, outcome
+
+
+class TestSpanRoundTrip:
+    """Acceptance: one seeded loss => one episode tree matching the event
+    log, and a Perfetto export that reloads with flow links intact."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        return _single_loss_run()
+
+    def test_single_loss_yields_one_episode_tree(self, run):
+        obs, outcome = run
+        assert outcome.ok and outcome.completed
+        trees = obs.spans.trees()
+        assert len(trees) == 1
+        (tree,) = trees.values()
+        root = tree[0]
+        assert root.name == "recovery_episode"
+        assert root.args["seq"] == 5
+        assert root.args["outcome"] == "recovered"
+        assert not root.open
+        names = [span.name for span in tree[1:]]
+        assert names == ["corruption_drop", "loss_notification",
+                         "retx_fire", "recovered", "in_order_release"]
+        # Causality: children in non-decreasing time, inside the root.
+        times = [span.start_ns for span in tree[1:]]
+        assert times == sorted(times)
+        assert root.start_ns == times[0] and root.end_ns == times[-1]
+
+    def test_children_match_checker_event_log(self, run):
+        obs, _ = run
+        (tree,) = obs.spans.trees().values()
+        log = {(e.name, e.ts) for e in obs.tracer.events()}
+        for span in tree[1:]:
+            if span.name in ("corruption_drop", "loss_notification",
+                             "retx_fire", "recovered"):
+                assert (span.name, span.start_ns) in log
+
+    def test_perfetto_export_reloads_with_flow_links(self, run, tmp_path):
+        from repro.obs import write_chrome_trace
+
+        obs, _ = run
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), obs.tracer, obs.registry,
+                           spans=obs.spans)
+        trace = json.loads(path.read_text())
+        assert validate_chrome_trace(trace) == []
+        (tree,) = obs.spans.trees().values()
+        trace_id = tree[0].trace_id
+        flows = [e for e in trace["traceEvents"]
+                 if e.get("ph") in ("s", "t", "f") and e.get("id") == trace_id]
+        assert [e["ph"] for e in flows].count("s") == 1
+        assert [e["ph"] for e in flows].count("f") == 1
+        assert [e["ph"] for e in flows].count("t") == len(tree) - 1
+        assert trace["otherData"]["spans"]["started"] == len(tree)
+
+    def test_jsonl_export_carries_span_records(self, run):
+        obs, _ = run
+        text = events_to_jsonl(obs.tracer, spans=obs.spans)
+        assert validate_events_jsonl(text) == []
+        kinds = [json.loads(line).get("kind") for line in text.splitlines()]
+        assert kinds.count("span") == 6
+
+    def test_retx_drop_attaches_to_existing_episode(self):
+        # Dropping the retransmission too must not open a second episode.
+        from repro.checker.scenarios import (
+            CheckConfig, FaultScenario, run_scenario,
+        )
+
+        obs = Observability(spans=True)
+        scenario = FaultScenario(
+            name="retx-loss",
+            drops=[{"kind": "data", "index": 5}, {"kind": "retx", "index": 0}])
+        run_scenario(scenario, CheckConfig(n_packets=20), obs=obs)
+        trees = obs.spans.trees()
+        assert len(trees) == 1
+        (tree,) = trees.values()
+        assert any(s.name == "retx_drop" for s in tree)
+
+
+class TestSpanExportShapes:
+    def test_open_root_exports_as_begin_without_finish(self):
+        spans = SpanTracer()
+        root = spans.begin(1_000, "episode", "r")
+        spans.event(2_000, "c", "child", parent=root)
+        trace = to_chrome_trace(Tracer(capacity=4), spans=spans)
+        by_phase = {}
+        for event in trace["traceEvents"]:
+            by_phase.setdefault(event["ph"], []).append(event)
+        assert [e["name"] for e in by_phase["B"]] == ["r"]
+        assert "f" not in by_phase  # open episode: no flow finish yet
+        assert validate_chrome_trace(trace) == []
+
+    def test_single_span_episode_has_no_flow_chain(self):
+        spans = SpanTracer()
+        root = spans.begin(0, "episode", "solo")
+        spans.end(root, 10)
+        trace = to_chrome_trace(Tracer(capacity=4), spans=spans)
+        assert all(e["ph"] not in ("s", "t", "f")
+                   for e in trace["traceEvents"])
+
+
+class TestPhaseTimer:
+    def test_accumulates_and_rounds(self):
+        timer = PhaseTimer()
+        timer.add("setup", 0.5)
+        timer.add("setup", 0.25)
+        with timer.phase("run"):
+            pass
+        timings = timer.timings()
+        assert timings["setup"] == 0.75
+        assert timings["run"] >= 0.0
