@@ -52,6 +52,24 @@ class OccupancyTracker:
         """Close the last interval before reading statistics."""
         self.update(now, self._value)
 
+    def snapshot_state(self):
+        """Capture the tracker for mid-run materialization."""
+        from ..core.state import OccupancyState
+        return OccupancyState(
+            last_time=self._last_time,
+            value=self._value,
+            samples=list(self._samples),
+            max_value=self.max_value,
+        )
+
+    def restore_state(self, state) -> None:
+        from ..core.state import OccupancyState, check_version
+        check_version(state, OccupancyState)
+        self._last_time = state.last_time
+        self._value = state.value
+        self._samples = list(state.samples)
+        self.max_value = state.max_value
+
     def _arrays(self):
         if not self._samples:
             return np.array([self._value]), np.array([1.0])

@@ -563,6 +563,10 @@ def cmd_fastpath(argv: List[str]) -> int:
     val_p.add_argument("--seed", type=int, default=1)
     val_p.add_argument("--workers", type=int, default=1,
                        help="worker processes for the packet cells")
+    val_p.add_argument("--backend", default="fastpath",
+                       choices=["fastpath", "hybrid"],
+                       help="the fast side of the comparison (hybrid = "
+                            "the splicing backend)")
     val_p.add_argument("--out", default=None, metavar="PATH",
                        help="write the full report JSON here")
     val_p.add_argument("--json", action="store_true")
@@ -601,7 +605,8 @@ def cmd_fastpath(argv: List[str]) -> int:
             _print(f"[{spec.cell_id()}] packet {packet.wall_s:.2f}s")
 
     report = run_validation(n_cells=args.cells, seed=args.seed,
-                            workers=args.workers, progress=progress)
+                            workers=args.workers, progress=progress,
+                            backend=args.backend)
     if args.out:
         write_report(report, args.out)
     if _JSON_MODE:
@@ -609,7 +614,7 @@ def cmd_fastpath(argv: List[str]) -> int:
     else:
         _emit(report.rows())
         _print(f"{'OK' if report.ok else 'FAIL'}: {report.n_cells} cells, "
-               f"packet {report.packet_wall_s:.1f}s vs fastpath "
+               f"packet {report.packet_wall_s:.1f}s vs {report.backend} "
                f"{report.fastpath_wall_s:.4f}s")
         for failure in report.failures():
             _print(f"  {failure.metric}: max_rel_err {failure.max_err:.3f} "
@@ -991,9 +996,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--kind", default="fct",
                         help="sweep: experiment kind of the base spec")
     parser.add_argument("--backend", default="packet",
-                        choices=["packet", "fastpath"],
+                        choices=["packet", "fastpath", "hybrid"],
                         help="sweep: execution backend for every cell "
-                             "(fastpath = vectorized analytic models)")
+                             "(fastpath = vectorized analytic models; "
+                             "hybrid = analytic between losses, packet "
+                             "windows around them)")
     parser.add_argument("--axis", action="append", metavar="FIELD=V1,V2",
                         help="sweep: one axis of the grid (repeatable); "
                              "FIELD is a spec field or params.X / lg.X")

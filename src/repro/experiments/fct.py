@@ -91,6 +91,7 @@ def run_fct_experiment(
     inter_trial_gap_ns: int = 20_000,
     trial_deadline_ns: int = 400 * MS,
     lg_config: Optional[LinkGuardianConfig] = None,
+    loss=None,
     obs=None,
     phases: Optional[PhaseTimer] = None,
 ) -> FctResult:
@@ -102,6 +103,9 @@ def run_fct_experiment(
         lg_config: override the LinkGuardian configuration (used by the
             Table 2 mechanism ablation to toggle ordering / tail
             detection individually).
+        loss: explicit :class:`~repro.phy.loss.LossProcess` for the
+            forward link, overriding ``loss_rate`` — the hybrid splicing
+            backend injects conditioned loss placements this way.
         obs: optional :class:`~repro.obs.Observability` threaded through
             the testbed (engine, links, hosts, LG endpoints).
         phases: optional shared :class:`~repro.obs.profile.PhaseTimer`;
@@ -128,6 +132,7 @@ def run_fct_experiment(
         lg_active=lg_active,
         seed=seed,
         config=lg_config,
+        loss=loss if with_loss else None,
         obs=obs,
     )
     stack_delay = 1_000 if transport == "rdma" else 6_000

@@ -14,9 +14,13 @@ Three entry points:
 * :func:`~repro.fastpath.backend.run_fastpath_cell` /
   :func:`~repro.fastpath.backend.evaluate_specs` — the runner backend
   (``ExperimentSpec(backend="fastpath")`` dispatches here);
+* :func:`~repro.fastpath.splice.run_hybrid_cell` — the hybrid splicing
+  backend (``backend="hybrid"``): analytic between corruption events,
+  snapshot-seeded packet-engine windows around them;
 * :func:`~repro.fastpath.validate.run_validation` — the cross-validation
   harness: matched grids on both backends, per-metric relative-error
-  distributions, loud failure beyond the documented tolerances;
+  distributions, loud failure beyond the documented tolerances (the
+  ``backend`` argument validates either fast tier);
 * :mod:`~repro.fastpath.model` / :mod:`~repro.fastpath.fct` — the raw
   vectorized primitives, for direct use (the fleet layer's wide scans).
 
@@ -25,9 +29,11 @@ assumptions, and the known divergence regimes.
 """
 
 from .backend import FASTPATH_KINDS, evaluate_specs, run_fastpath_cell
+from .splice import HYBRID_KINDS, evaluate_hybrid_specs, run_hybrid_cell
 from .validate import ValidationReport, default_grid, run_validation
 
 __all__ = [
     "FASTPATH_KINDS", "evaluate_specs", "run_fastpath_cell",
+    "HYBRID_KINDS", "evaluate_hybrid_specs", "run_hybrid_cell",
     "ValidationReport", "default_grid", "run_validation",
 ]

@@ -1,0 +1,442 @@
+"""The hybrid splicing backend: analytic between losses, packet windows
+around them.
+
+``backend="hybrid"`` sits between ``packet`` (full event-driven
+simulation) and ``fastpath`` (closed forms everywhere): flows advance
+analytically through the loss-free bulk of a cell, and the packet engine
+is instantiated only around the corruption events, seeded from the
+snapshot/restore machinery in :mod:`repro.core.state`.  The per-kind
+split:
+
+* **fct** — per-trial conditioning.  A flow of ``n`` data frames is
+  loss-touched with probability ``p_any = 1 - (1-p)**n``; the hybrid
+  backend de-noises the episode count (it simulates
+  ``round(n_trials * p_any)`` affected trials, the analytic
+  expectation) and runs *only those trials* through the real packet
+  engine, with the drop placements materialized as
+  :class:`~repro.phy.loss.DataFrameLoss` per-flow indices.  Clean
+  trials all complete in the engine-measured clean FCT, taken from one
+  template trial simulated in the same engine run — so the p50 is
+  engine-exact and the tail comes from genuinely simulated recoveries.
+  At fig10-style sparse-loss operating points (``p_any ~ 1e-3``) this
+  simulates ~1 trial instead of hundreds.
+
+* **stress** — episode windows from a warm snapshot.  A template world
+  is warmed to steady state, quiesced, and snapshotted once; each
+  sampled loss episode restores that snapshot into a fresh world
+  (``restore_loss=False`` so the window keeps its own scripted drop),
+  replays a line-rate injection window around the drop, and harvests
+  the empirical retransmission delay and receiver-buffer peak.  Macro
+  counters (N, effective loss/speed, event counts) come from the same
+  closed forms as the fastpath backend — the windows supply the
+  microdynamics the closed forms can only approximate.
+
+* **goodput** — delegated to the fastpath analytic.  A Table-3
+  transfer at these loss rates has losses *dense* across the whole
+  2.5 MB (there is no loss-free bulk to skip), so windowing degenerates
+  to a full packet run; the calibrated analytic model is the right
+  middle tier there.
+
+Cells the splicer cannot condition faithfully — the unprotected
+``loss`` scenario (drop placements target LinkGuardian-stamped frames,
+which a dormant link does not produce) and specs with parameters the
+window harness does not model — fall back to a full packet run,
+re-tagged ``hybrid``.  The fallback is byte-identical to the packet
+backend for the same spec because ``grid_key`` excludes the backend, so
+both derive the same per-cell seed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.rng import RngFactory
+from ..runner.harness import CellResult
+from ..runner.spec import ExperimentSpec
+from ..units import GBPS, MS, MTU_FRAME, gbps, serialization_ns
+from . import fct as fctmod
+from . import model
+
+__all__ = [
+    "HYBRID_KINDS", "conditioned_placements", "run_hybrid_cell",
+    "evaluate_hybrid_specs",
+]
+
+#: experiment kinds the hybrid backend accepts (same surface as fastpath).
+HYBRID_KINDS = ("fct", "goodput", "stress")
+
+#: stress params the window harness models; anything else → packet fallback.
+_STRESS_PARAMS = {
+    "duration_ms", "target_loss_rate", "recirc_drain_gbps", "mean_burst",
+}
+
+#: cap on simulated trials per fct cell: beyond this the conditioning no
+#: longer saves work over the packet backend, so fall back honestly.
+_MAX_AFFECTED = 512
+
+#: windows sampled per stress cell; consecutive drop indices sweep the
+#: drop's phase against the recirculation loop, which is what spreads the
+#: engine's retransmission-delay distribution.
+_MAX_WINDOWS = 16
+
+
+# -- conditioned placement drawing ------------------------------------------
+
+def _binomial_at_least_one(n: int, p: float, u: float) -> int:
+    """Inverse-CDF draw of ``k ~ Binomial(n, p) | k >= 1``.
+
+    Explicit pmf walk (n is a segment count, tens at most) so the draw
+    consumes exactly one uniform — placements stay reproducible even if
+    numpy's binomial sampling internals change.
+    """
+    p_any = -np.expm1(n * np.log1p(-p))
+    if p_any <= 0.0:
+        return 1
+    cumulative = 0.0
+    pmf = n * p * (1.0 - p) ** (n - 1)  # k = 1
+    for k in range(1, n + 1):
+        cumulative += pmf / p_any
+        if u < cumulative:
+            return k
+        pmf *= (n - k) * p / ((k + 1) * (1.0 - p))
+    return n
+
+
+def conditioned_placements(
+    n_frames: int,
+    loss_rate: float,
+    n_trials: int,
+    rng: np.random.Generator,
+) -> List[np.ndarray]:
+    """Drop placements for the affected trials of one fct cell.
+
+    Returns one sorted index array per affected trial — the expected
+    (de-noised) number of them, ``round(n_trials * p_any)`` — with each
+    trial's loss count drawn from ``Binomial(n, p) | >= 1`` and uniform
+    positions among the flow's ``n_frames`` original data frames.
+    """
+    p = float(np.clip(loss_rate, 0.0, 1.0 - 1e-15))
+    if p <= 0.0 or n_frames <= 0:
+        return []
+    p_any = -np.expm1(n_frames * np.log1p(-p))
+    n_affected = min(n_trials, int(round(n_trials * p_any)))
+    out = []
+    for _ in range(n_affected):
+        k = _binomial_at_least_one(n_frames, p, float(rng.random()))
+        out.append(np.sort(rng.choice(n_frames, size=k, replace=False)))
+    return out
+
+
+# -- shared plumbing --------------------------------------------------------
+
+def _lg_config(spec: ExperimentSpec):
+    if not spec.lg:
+        return None
+    from ..linkguardian.config import LinkGuardianConfig
+
+    return LinkGuardianConfig.for_link_speed(spec.rate_gbps, **spec.lg)
+
+
+def _packet_fallback(spec: ExperimentSpec) -> CellResult:
+    """Run the cell on the packet backend, re-tagged as hybrid.
+
+    ``grid_key`` excludes the backend, so the spec carries the exact
+    seed a packet run of this cell would use — the metrics and series
+    are byte-identical to ``backend="packet"``.
+    """
+    from ..runner.cells import run_cell
+
+    result = run_cell(spec.with_(backend="packet"))
+    return CellResult(
+        cell_id=spec.cell_id(),
+        spec=spec.to_dict(),
+        metrics=result.metrics,
+        series=result.series,
+        backend="hybrid",
+    )
+
+
+def _result(spec: ExperimentSpec, metrics: dict,
+            series: Optional[dict] = None) -> CellResult:
+    return CellResult(
+        cell_id=spec.cell_id(),
+        spec=spec.to_dict(),
+        metrics=metrics,
+        series=series or {},
+        backend="hybrid",
+    )
+
+
+# -- fct: conditioned trials ------------------------------------------------
+
+def _splice_fct(spec: ExperimentSpec) -> CellResult:
+    from ..analysis.stats import percentile
+    from ..experiments.fct import run_fct_experiment
+    from ..phy.loss import DataFrameLoss
+
+    if spec.scenario == "loss":
+        # Unprotected scenario: DataFrameLoss places drops on
+        # LinkGuardian-stamped frames, which a dormant link never
+        # produces — no conditioning handle, so simulate in full.
+        return _packet_fallback(spec)
+
+    loss_rate = spec.loss_rate if spec.scenario != "noloss" else 0.0
+    n_frames = int(fctmod.segment_count(spec.flow_size, spec.transport))
+    rng = RngFactory(spec.seed).stream("hybrid.fct")
+    placements = conditioned_placements(
+        n_frames, loss_rate, spec.n_trials, rng)
+    if len(placements) > _MAX_AFFECTED:
+        return _packet_fallback(spec)
+
+    # Trial 0 (flow_id 1) is the clean template; affected trials follow
+    # as flow_ids 2..n_affected+1, each with its conditioned placement.
+    per_flow = {
+        trial + 2: [int(i) for i in positions]
+        for trial, positions in enumerate(placements)
+    }
+    window = run_fct_experiment(
+        transport=spec.transport,
+        flow_size=spec.flow_size,
+        n_trials=len(placements) + 1,
+        scenario=spec.scenario,
+        rate_gbps=spec.rate_gbps,
+        loss_rate=spec.loss_rate,
+        seed=spec.seed,
+        lg_config=_lg_config(spec),
+        loss=DataFrameLoss(per_flow=per_flow, rate=loss_rate),
+        **spec.params,
+    )
+    template = window.records[0]
+    if not template.completed:
+        # The clean template must complete; if it cannot, the cell is
+        # not in the regime the splicer models.
+        return _packet_fallback(spec)
+
+    affected_records = window.records[1:]
+    affected_fcts = [
+        r.fct_ns / 1e3 for r in affected_records if r.completed]
+    n_clean = spec.n_trials - len(placements)
+    fcts_us = np.concatenate([
+        np.full(n_clean, template.fct_ns / 1e3),
+        np.asarray(affected_fcts, dtype=np.float64),
+    ])
+    metrics = {
+        "transport": spec.transport,
+        "scenario": spec.scenario,
+        "size": spec.flow_size,
+        "trials": len(fcts_us),
+        **{f"p{q:g}_us": percentile(fcts_us, q)
+           for q in (50, 99, 99.9, 99.99)},
+        "incomplete": window.incomplete,
+        "affected": sum(
+            1 for r in affected_records if r.retransmissions or r.timeouts),
+        "simulated_trials": len(placements) + 1,
+    }
+    return _result(spec, metrics, {"fcts_us": fcts_us.tolist()})
+
+
+# -- stress: snapshot windows -----------------------------------------------
+
+def _stress_world(spec: ExperimentSpec, config, loss=None):
+    """A stress-test world wired exactly like ``run_stress_test``'s.
+
+    Built dormant (activation state rides in the template snapshot for
+    window worlds; the template activates explicitly), with the same
+    direct-injection sink the packet stress harness uses.
+    """
+    from ..experiments.testbed import build_testbed
+    from ..switchsim.link import Link
+
+    testbed = build_testbed(
+        rate_gbps=spec.rate_gbps,
+        loss_rate=0.0,
+        ordered=spec.scenario != "lgnb",
+        lg_active=False,
+        seed=spec.seed,
+        loss=loss,
+        config=config,
+        ecn_threshold_bytes=None,
+        recirc_drain_gbps=spec.params.get("recirc_drain_gbps"),
+    )
+    sim, plink = testbed.sim, testbed.plink
+    delivered = {"count": 0}
+    sink_link = Link(sim, 10, receiver=lambda p: delivered.__setitem__(
+        "count", delivered["count"] + 1))
+    testbed.receiver_switch.add_port("sink", gbps(spec.rate_gbps), sink_link)
+    testbed.receiver_switch.set_route("stress-dst", "sink")
+    testbed.sender_switch.set_route("stress-dst", plink.forward_port_name)
+    return testbed
+
+
+def _inject(testbed, spec: ExperimentSpec, n_frames: int, spacing: int):
+    """Arm a line-rate MTU injection of ``n_frames`` frames from now."""
+    from ..packets.packet import Packet
+
+    sim = testbed.sim
+    state = {"sent": 0}
+
+    def fire():
+        if state["sent"] >= n_frames:
+            return
+        packet = Packet(size=MTU_FRAME, dst="stress-dst",
+                        flow_id=state["sent"])
+        state["sent"] += 1
+        testbed.sender_switch.forward(packet)
+        sim.schedule(spacing, fire)
+
+    sim.schedule(0, fire)
+
+
+def _quiesce_stress(testbed, deadline_ns: int = 2 * MS) -> None:
+    """Run until the protected link is data-quiescent (snapshot-safe)."""
+    sim, plink = testbed.sim, testbed.plink
+    deadline = sim.now + deadline_ns
+    while sim.now < deadline:
+        sim.run(until=sim.now + 50_000)
+        sender, receiver = plink.sender, plink.receiver
+        if (sender.buffer_packets == 0 and not receiver._missing
+                and not receiver._buffer and not receiver._draining):
+            return
+    raise RuntimeError("stress template failed to quiesce before snapshot")
+
+
+def _window_drops(loss_rate: float, mean_burst: float, recovery_slots: int,
+                  base_index: int, rng: np.random.Generator) -> set:
+    """Drop indices for one window: a single loss, extended into a run
+    the way the cell's loss process would extend it — geometric runs for
+    Gilbert-Elliott, a recovery-window overlap draw for i.i.d. loss."""
+    drops = {base_index}
+    if mean_burst > 1.0:
+        length = int(rng.geometric(1.0 / mean_burst))
+        drops.update(base_index + offset for offset in range(length))
+    else:
+        p_overlap = -np.expm1(recovery_slots * np.log1p(-loss_rate))
+        if rng.random() < p_overlap:
+            drops.add(base_index + 1 + int(rng.integers(recovery_slots)))
+    return drops
+
+
+def _splice_stress(spec: ExperimentSpec) -> CellResult:
+    from ..analysis.stats import percentile
+    from ..linkguardian.config import LinkGuardianConfig
+    from ..phy.loss import DataFrameLoss
+    from .grid import _eval_stress
+
+    if set(spec.params) - _STRESS_PARAMS:
+        return _packet_fallback(spec)
+
+    # Macro counters: the same closed forms as the fastpath backend (the
+    # loss-free bulk *is* analytic — that is the splice).
+    metrics = dict(_eval_stress([spec])[0])
+    ordered = spec.scenario != "lgnb"
+    loss_rate = spec.loss_rate
+    expected_events = metrics["loss_events"]
+    if loss_rate <= 0.0 or expected_events < 1.0:
+        return _result(spec, metrics, {"retx_delays_us": []})
+
+    overrides = {"ordered": ordered, **spec.lg}
+    if "target_loss_rate" in spec.params:
+        overrides["target_loss_rate"] = spec.params["target_loss_rate"]
+    config = LinkGuardianConfig.for_link_speed(spec.rate_gbps, **overrides)
+
+    rate_bps = spec.rate_gbps * GBPS
+    spacing = serialization_ns(MTU_FRAME, gbps(spec.rate_gbps))
+    recovery_ns = float(model.recovery_latency_ns(
+        rate_bps, config.recirc_loop_ns)["max"])
+    recovery_slots = max(1, int(np.ceil(recovery_ns / spacing)))
+
+    # Template: warm to steady state, quiesce, snapshot once.
+    template = _stress_world(spec, config)
+    template.plink.activate(loss_rate if loss_rate > 0 else 1e-4)
+    warm_frames = max(64, 2 * recovery_slots)
+    _inject(template, spec, warm_frames, spacing)
+    template.sim.run(until=template.sim.now + warm_frames * spacing)
+    _quiesce_stress(template)
+    snap = template.plink.snapshot()
+    delays_before = len(snap.receiver.stats["retx_delays_ns"])
+
+    rng = RngFactory(spec.seed).stream("hybrid.stress")
+    n_windows = min(_MAX_WINDOWS, max(6, int(round(expected_events))))
+    delays_ns: List[float] = []
+    rx_peak = 0.0
+    for w in range(n_windows):
+        # Consecutive indices sweep the drop's phase against the
+        # recirculation loop; the offset keeps the first drops clear of
+        # the window's ramp-in.
+        base = 8 + w
+        drops = _window_drops(
+            loss_rate, float(spec.params.get("mean_burst", 1.0)),
+            recovery_slots, base, rng)
+        world = _stress_world(
+            spec, config,
+            loss=DataFrameLoss(drop_indices=drops, rate=loss_rate))
+        world.plink.restore(snap, restore_loss=False)
+        n_frames = max(drops) + 2 * recovery_slots + 16
+        _inject(world, spec, n_frames, spacing)
+        world.sim.run(until=world.sim.now + n_frames * spacing
+                      + 4 * config.ack_no_timeout_ns + 200_000)
+        receiver = world.plink.receiver
+        delays_ns.extend(receiver.stats.retx_delays_ns[delays_before:])
+        receiver.rx_occupancy.finish(world.sim.now)
+        rx_peak = max(rx_peak, receiver.rx_occupancy.summary()["max"])
+
+    delays_us = [d / 1e3 for d in delays_ns]
+    if delays_us:
+        metrics["retx_min_us"] = min(delays_us)
+        metrics["retx_p50_us"] = percentile(delays_us, 50)
+        metrics["retx_max_us"] = max(delays_us)
+    if ordered and rx_peak > 0.0:
+        metrics["rx_buf_max_KB"] = rx_peak / 1e3
+    metrics["windows"] = n_windows
+    return _result(spec, metrics, {"retx_delays_us": delays_us})
+
+
+# -- goodput: analytic delegation -------------------------------------------
+
+def _splice_goodput(spec: ExperimentSpec) -> CellResult:
+    """Goodput delegates to the fastpath analytic (see module docstring:
+    Table-3 transfers have no loss-free bulk to splice across)."""
+    from .backend import run_fastpath_cell
+
+    result = run_fastpath_cell(spec.with_(backend="fastpath"))
+    return _result(spec, result.metrics, result.series)
+
+
+# -- backend entry points ---------------------------------------------------
+
+_SPLICERS = {
+    "fct": _splice_fct,
+    "goodput": _splice_goodput,
+    "stress": _splice_stress,
+}
+
+
+def run_hybrid_cell(spec: Union[ExperimentSpec, dict]) -> CellResult:
+    """One cell through the hybrid splicing backend."""
+    if isinstance(spec, dict):
+        spec = ExperimentSpec.from_dict(spec)
+    if spec.kind not in _SPLICERS:
+        raise ValueError(
+            f"kind {spec.kind!r} has no hybrid splicer; "
+            f"supported: {list(HYBRID_KINDS)}")
+    started = time.perf_counter()
+    result = _SPLICERS[spec.kind](spec)
+    result.wall_s = time.perf_counter() - started
+    result.timings = {"run_s": round(result.wall_s, 6)}
+    return result
+
+
+def evaluate_hybrid_specs(
+    specs: Sequence[Union[ExperimentSpec, dict]],
+) -> List[CellResult]:
+    """Evaluate a batch of cells on the hybrid backend, in input order.
+
+    Unlike the fastpath batch there is no cross-cell vectorization —
+    each cell's windows are independent engine runs — so this is a
+    convenience loop with per-cell wall clocks, pool-friendly through
+    ``run_cell`` when parallelism is wanted.
+    """
+    return [run_hybrid_cell(spec) for spec in specs]

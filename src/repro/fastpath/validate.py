@@ -148,6 +148,8 @@ class ValidationReport:
     summaries: Dict[str, MetricSummary]
     packet_wall_s: float = 0.0
     fastpath_wall_s: float = 0.0
+    #: the fast side of the comparison: "fastpath" or "hybrid"
+    backend: str = "fastpath"
 
     @property
     def ok(self) -> bool:
@@ -163,6 +165,7 @@ class ValidationReport:
         return {
             "ok": self.ok,
             "n_cells": self.n_cells,
+            "backend": self.backend,
             "packet_wall_s": self.packet_wall_s,
             "fastpath_wall_s": self.fastpath_wall_s,
             "metrics": self.rows(),
@@ -178,7 +181,8 @@ class ValidationReport:
             for s in self.failures()
         ]
         raise AssertionError(
-            "fastpath/packet cross-validation failed:\n" + "\n".join(lines))
+            f"{self.backend}/packet cross-validation failed:\n"
+            + "\n".join(lines))
 
 
 # -- grid construction ------------------------------------------------------
@@ -353,18 +357,35 @@ def run_validation(
     seed: int = 1,
     workers: int = 1,
     progress=None,
+    backend: str = "fastpath",
 ) -> ValidationReport:
     """Run the matched grid on both backends and compare.
 
     ``specs`` (each with ``backend`` ignored — both are run) overrides
-    the default grid.  Call :meth:`ValidationReport.raise_if_failed` or
-    check ``report.ok`` for the verdict.
+    the default grid.  ``backend`` picks the fast side — ``"fastpath"``
+    (the vectorized analytic models) or ``"hybrid"`` (the splicing
+    backend); both are held to the same :data:`TOLERANCES` against the
+    same packet cells, since ``grid_key`` gives matched cells matched
+    seeds regardless of backend.  Call
+    :meth:`ValidationReport.raise_if_failed` or check ``report.ok`` for
+    the verdict.
     """
+    if backend not in ("fastpath", "hybrid"):
+        raise ValueError(
+            f"unknown validation backend {backend!r}; "
+            f"known: fastpath, hybrid")
     if specs is None:
         specs = default_grid(n_cells=n_cells, seed=seed)
     specs = [s.with_(backend="packet") for s in specs]
 
-    fast_results = evaluate_specs([s.with_(backend="fastpath") for s in specs])
+    if backend == "hybrid":
+        from .splice import evaluate_hybrid_specs
+
+        fast_results = evaluate_hybrid_specs(
+            [s.with_(backend="hybrid") for s in specs])
+    else:
+        fast_results = evaluate_specs(
+            [s.with_(backend="fastpath") for s in specs])
     packet_results = _run_packet_cells(specs, workers)
 
     summaries: Dict[str, MetricSummary] = {}
@@ -389,6 +410,7 @@ def run_validation(
         summaries=summaries,
         packet_wall_s=sum(r.wall_s for r in packet_results),
         fastpath_wall_s=sum(r.wall_s for r in fast_results),
+        backend=backend,
     )
     return report
 

@@ -49,7 +49,7 @@ from .topology import (
 )
 
 __all__ = [
-    "FleetCampaignSpec", "FleetCampaignResult",
+    "FleetCampaignSpec", "FleetCampaignResult", "HYBRID_EMPIRICAL_THRESHOLD",
     "shard_bounds", "run_shard", "shard_timeline", "run_fleet_campaign",
     "resimulate_flagged", "unprotected_goodput_fraction",
 ]
@@ -64,6 +64,12 @@ EXPOSED_FCT_INFLATION = 10.0
 #: unprotected goodput model below (100G, ~20 us RTT, 1460 B MSS ~ 171;
 #: rounded down to stay conservative).
 BDP_PACKETS = 128
+#: hybrid-backend cutover: episodes whose *analytic* affected fraction
+#: reaches this are sampled empirically instead (the Gilbert–Elliott
+#: closed form is weakest exactly where bursts touch most flows).  A
+#: module constant, not a spec field, so campaign canonical output stays
+#: byte-compatible across backends.
+HYBRID_EMPIRICAL_THRESHOLD = 0.5
 
 
 def unprotected_goodput_fraction(loss_rate: float) -> float:
@@ -96,7 +102,11 @@ class FleetCampaignSpec:
     sample_flows: int = 128
     #: "packet" samples every episode's affected fraction empirically;
     #: "fastpath" computes it analytically (Gilbert-Elliott closed form)
-    #: and re-simulates only the flagged worst episodes.
+    #: and re-simulates only the flagged worst episodes; "hybrid" is the
+    #: middle tier — analytic for mild episodes, empirical sampling for
+    #: any episode whose analytic affected fraction reaches
+    #: :data:`HYBRID_EMPIRICAL_THRESHOLD` (decided per episode, so the
+    #: outcome is independent of sharding), plus the flagged resim pass.
     backend: str = "packet"
     #: fraction of episodes (the worst, by analytic affected fraction)
     #: the fastpath backend re-simulates with the packet sampler.
@@ -114,9 +124,10 @@ class FleetCampaignSpec:
                 f"({self.fleet.n_links})")
         if self.duration_days <= 0:
             raise ValueError("duration_days must be positive")
-        if self.backend not in ("packet", "fastpath"):
+        if self.backend not in ("packet", "fastpath", "hybrid"):
             raise ValueError(
-                f"unknown backend {self.backend!r}; known: packet, fastpath")
+                f"unknown backend {self.backend!r}; "
+                f"known: packet, fastpath, hybrid")
         if not 0.0 <= self.resim_fraction <= 1.0:
             raise ValueError("resim_fraction must be in [0, 1]")
 
@@ -165,11 +176,15 @@ def run_shard(campaign: FleetCampaignSpec, shard: int) -> List[CorruptionEpisode
     empirically; the fastpath backend uses the Gilbert–Elliott closed
     form (:func:`repro.fastpath.model.ge_affected_fraction`) and leaves
     the empirical sampling to the flagged-worst re-simulation pass in
-    :func:`run_fleet_campaign`.
+    :func:`run_fleet_campaign`.  The hybrid backend splits per episode:
+    the closed form where it is trustworthy, the empirical sampler (same
+    named stream a packet shard would use) once the analytic fraction
+    reaches :data:`HYBRID_EMPIRICAL_THRESHOLD` — the regime where the
+    closed form's burst approximation is weakest.
     """
     factory = RngFactory(campaign.seed)
     lo, hi = shard_bounds(campaign.fleet.n_links, campaign.n_shards, shard)
-    analytic = campaign.backend == "fastpath"
+    analytic = campaign.backend in ("fastpath", "hybrid")
     if analytic:
         from ..fastpath.model import ge_affected_fraction
 
@@ -182,6 +197,14 @@ def run_shard(campaign: FleetCampaignSpec, shard: int) -> List[CorruptionEpisode
                 affected = float(ge_affected_fraction(
                     episode.loss_rate, episode.mean_burst,
                     campaign.flow_packets))
+                if (campaign.backend == "hybrid"
+                        and affected >= HYBRID_EMPIRICAL_THRESHOLD):
+                    flows_rng = factory.stream(
+                        f"fleet.link.{link_id}.flows.{ep_index}")
+                    affected = sample_affected_fraction(
+                        flows_rng, episode.loss_rate, episode.mean_burst,
+                        campaign.flow_packets, campaign.sample_flows,
+                    )
             else:
                 flows_rng = factory.stream(
                     f"fleet.link.{link_id}.flows.{ep_index}")
@@ -362,7 +385,11 @@ def run_fleet_campaign(
     episodes.sort(key=lambda e: (e.onset_s, e.link_id))
 
     n_flagged = 0
-    if campaign.backend == "fastpath":
+    if campaign.backend in ("fastpath", "hybrid"):
+        # For hybrid, episodes above the empirical threshold were already
+        # sampled with these exact streams in run_shard; re-sampling a
+        # flagged one reproduces the same value, so the pass only adds
+        # coverage below the threshold.
         episodes, n_flagged = resimulate_flagged(campaign, episodes)
 
     topology = FleetTopology(campaign.fleet, campaign.seed)

@@ -192,6 +192,57 @@ class ProtectedLink:
         """Dial the VOA: change the forward-direction corruption process."""
         self.forward_link.set_loss(loss)
 
+    # -- snapshot / restore ------------------------------------------------------------
+
+    def snapshot(self):
+        """Capture the whole protected link at a data-quiescent point.
+
+        Endpoints, both egress ports, both link counters and the
+        capture-time clock are recorded; in-flight frames and scheduled
+        callbacks are not (see :mod:`repro.core.state`).
+        """
+        from ..core.state import ProtectedLinkState
+        return ProtectedLinkState(
+            sim_now=self.sim.now,
+            sender=self.sender.snapshot(),
+            receiver=self.receiver.snapshot(),
+            sender_port=self.sender_port.egress.snapshot_state(),
+            receiver_port=self.receiver_port.egress.snapshot_state(),
+            forward_link=self.forward_link.snapshot_state(),
+            reverse_link=self.reverse_link.snapshot_state(),
+        )
+
+    def restore(self, state, restore_loss: bool = True,
+                jump_clock: bool = True) -> None:
+        """Materialize a snapshot into this (freshly built) link.
+
+        Jumps the clock to the capture time, restores protocol state,
+        re-kicks both ports, and re-primes the self-replenishing dummy
+        and explicit-ACK cycles exactly as activation would — a copy in
+        flight at capture time is simply replaced.  With
+        ``restore_loss=False`` the forward corruption position is left
+        alone so a splicing window can attach its own process.
+        """
+        from ..core.state import ProtectedLinkState, check_version
+        check_version(state, ProtectedLinkState)
+        if jump_clock and self.sim.now < state.sim_now:
+            self.sim.jump_to(state.sim_now)
+        self.sender.restore(state.sender)
+        self.receiver.restore(state.receiver)
+        self.sender_port.egress.restore_state(state.sender_port)
+        self.receiver_port.egress.restore_state(state.receiver_port)
+        self.forward_link.restore_state(state.forward_link,
+                                        restore_loss=restore_loss)
+        self.reverse_link.restore_state(state.reverse_link)
+        if self.sender.active and self.config.tail_loss_detection:
+            dummy_queue = self.sender_port.egress.queues[LgSender.DUMMY_QUEUE]
+            for _ in range(self.config.dummy_copies - len(dummy_queue)):
+                self.sender._enqueue_dummy()
+        if self.receiver.active:
+            ack_queue = self.receiver_port.egress.queues[LgReceiver.ACK_QUEUE]
+            if not len(ack_queue):
+                self.receiver._enqueue_explicit_ack()
+
     # -- measurement -------------------------------------------------------------------
 
     def effective_loss_events(self) -> int:

@@ -560,6 +560,87 @@ class LgReceiver:
                 self._pause_span = None
             self._send_control(self._control_packet(PacketKind.LG_RESUME))
 
+    # -- snapshot / restore ----------------------------------------------------------
+
+    def snapshot(self):
+        """Capture protocol state for mid-run materialization.
+
+        ``_missing`` is stored with each loss's *detection time*;
+        ``restore`` re-arms the corresponding ackNoTimeout deadlines
+        from those times instead of capturing timer events.  A snapshot
+        cannot be taken mid-release (``_draining``): the packet being
+        paced out lives only in a scheduled callback.
+        """
+        from ..core.state import ReceiverState, SeqState, SnapshotError
+        if self._draining:
+            raise SnapshotError(
+                f"receiver {self.name!r} is mid-release; snapshot at a "
+                f"drain boundary (quiesce first)")
+        stats = {
+            name: getattr(self.stats, name)
+            for name in self.stats.__dataclass_fields__
+            if name != "retx_delays_ns"
+        }
+        stats["retx_delays_ns"] = list(self.stats.retx_delays_ns)
+        return ReceiverState(
+            stats=stats,
+            next_rx=SeqState(value=self._next_rx.value, era=self._next_rx.era),
+            ack_no=SeqState(value=self._ack_no.value, era=self._ack_no.era),
+            missing=dict(self._missing),
+            gave_up=sorted(self._gave_up),
+            buffer=[(key, packet.copy())
+                    for key, packet in sorted(self._buffer.items())],
+            buffer_bytes=self._buffer_bytes,
+            paused_sender=self._paused_sender,
+            delivered_retx=sorted(self._delivered_retx),
+            nb_floor=self._nb_floor,
+            nb_floor_expiry_ns=self._nb_floor_expiry_ns,
+            ordered=self.config.ordered,
+            active=self._active,
+            occupancy=self.rx_occupancy.snapshot_state(),
+            paused_at=self._paused_at,
+            stall_key=self._stall_key,
+        )
+
+    def restore(self, state) -> None:
+        """Materialize captured state; re-arms ackNoTimeout + stall timers."""
+        from ..core.state import ReceiverState, check_version
+        check_version(state, ReceiverState)
+        for name, value in state.stats.items():
+            if name == "retx_delays_ns":
+                self.stats.retx_delays_ns = list(value)
+            else:
+                setattr(self.stats, name, value)
+        self._next_rx = SeqCounter(state.next_rx.value, state.next_rx.era)
+        self._ack_no = SeqCounter(state.ack_no.value, state.ack_no.era)
+        self._missing = {tuple(key): detected
+                         for key, detected in state.missing.items()}
+        self._gave_up = {tuple(key) for key in state.gave_up}
+        self._buffer = {tuple(key): packet.copy()
+                        for key, packet in state.buffer}
+        self._buffer_bytes = state.buffer_bytes
+        self._draining = False
+        self._paused_sender = state.paused_sender
+        self._delivered_retx = {tuple(key) for key in state.delivered_retx}
+        self._nb_floor = (tuple(state.nb_floor)
+                          if state.nb_floor is not None else None)
+        self._nb_floor_expiry_ns = state.nb_floor_expiry_ns
+        self.config.ordered = state.ordered
+        self._active = state.active
+        self.rx_occupancy.restore_state(state.occupancy)
+        self._paused_at = state.paused_at
+        self._stall_key = None
+        # Re-arm plumbing implied by the restored state: one ackNoTimeout
+        # per outstanding loss (from its original detection time) and the
+        # stall watchdog if one was pending.
+        for key, detected in self._missing.items():
+            deadline = self.config.quantize_timer(
+                detected + self.config.ack_no_timeout_ns)
+            self.sim.schedule_at(max(deadline, self.sim.now),
+                                 self._ack_no_timeout, key)
+        if state.stall_key is not None:
+            self._arm_stall_watchdog(tuple(state.stall_key))
+
     # -- reverse direction: ACKs (§3.1) --------------------------------------------------
 
     def stamp_ack(self, packet: Packet) -> None:

@@ -370,6 +370,66 @@ class LgSender:
                 # trip through the mirror path.
                 self.sim.schedule(self.config.replenish_delay_ns, self._enqueue_dummy)
 
+    # -- snapshot / restore -------------------------------------------------------
+
+    def snapshot(self):
+        """Capture protocol state for mid-run materialization.
+
+        Captures the seqNo space, the Tx buffer (packet copies + mirror
+        times), outstanding ``reTxReqs`` and counters.  Pending
+        ``_fire_retx`` events are scheduled-event plumbing and are *not*
+        captured — take snapshots at data-quiescent points (empty
+        ``_requested``, no retx in flight); :mod:`repro.fastpath.splice`
+        quiesces before snapshotting.
+        """
+        from ..core.state import SenderState, SeqState, TxEntryState, rng_state
+        return SenderState(
+            stats=self.stats.snapshot(),
+            seq=SeqState(value=self._seq.value, era=self._seq.era),
+            acked_next=tuple(self._acked_next),
+            n_copies=self.n_copies,
+            active=self._active,
+            buffer=[
+                TxEntryState(seqno=entry.seqno, era=entry.era,
+                             packet=entry.packet.copy(),
+                             mirrored_at=entry.mirrored_at)
+                for entry in self._buffer
+            ],
+            requested=sorted(self._requested),
+            buffer_bytes=self._buffer_bytes,
+            occupancy=self.tx_occupancy.snapshot_state(),
+            paused_at=self._paused_at,
+            phase_rng=rng_state(self._phase_rng) if self._phase_rng is not None
+            else None,
+        )
+
+    def restore(self, state) -> None:
+        """Materialize captured protocol state into this (fresh) sender."""
+        from ..core.state import (
+            SenderState, check_version, rng_restore,
+        )
+        check_version(state, SenderState)
+        for field_name, value in state.stats.items():
+            setattr(self.stats, field_name, value)
+        self._seq = SeqCounter(state.seq.value, state.seq.era)
+        self._acked_next = tuple(state.acked_next)
+        self.n_copies = state.n_copies
+        self._active = state.active
+        self._buffer = deque()
+        self._entries = {}
+        for entry_state in state.buffer:
+            entry = _TxEntry(entry_state.seqno, entry_state.era,
+                             entry_state.packet.copy(),
+                             entry_state.mirrored_at)
+            self._buffer.append(entry)
+            self._entries[(entry.era, entry.seqno)] = entry
+        self._requested = {tuple(key) for key in state.requested}
+        self._buffer_bytes = state.buffer_bytes
+        self.tx_occupancy.restore_state(state.occupancy)
+        self._paused_at = state.paused_at
+        if state.phase_rng is not None and self._phase_rng is not None:
+            rng_restore(self._phase_rng, state.phase_rng)
+
     # -- introspection ------------------------------------------------------------
 
     def obs_snapshot(self) -> dict:

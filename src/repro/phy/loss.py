@@ -26,7 +26,7 @@ from ..core.rng import RngFactory
 
 __all__ = [
     "LossProcess", "NoLoss", "BernoulliLoss", "GilbertElliottLoss",
-    "ScriptedLoss", "burst_length_distribution",
+    "ScriptedLoss", "DataFrameLoss", "burst_length_distribution",
 ]
 
 
@@ -49,6 +49,16 @@ class LossProcess:
 
     def corrupts(self, packet=None) -> bool:
         raise NotImplementedError
+
+    def snapshot_state(self):
+        """Capture the process position (RNG + internal counters)."""
+        from ..core.state import LossState, loss_fields
+        kind, data, rng = loss_fields(self)
+        return LossState(kind=kind, data=data, rng=rng)
+
+    def restore_state(self, state) -> None:
+        from ..core.state import loss_apply
+        loss_apply(self, state)
 
 
 class NoLoss(LossProcess):
@@ -171,6 +181,56 @@ class ScriptedLoss(LossProcess):
     @property
     def frames_seen(self) -> int:
         return self._index + 1
+
+
+class DataFrameLoss(LossProcess):
+    """Drops selected *protected original data* frames, by index.
+
+    Unlike :class:`ScriptedLoss` (which counts every frame crossing the
+    link, dummies and retransmissions included), this process counts
+    only LinkGuardian-stamped original data frames — the population the
+    analytic backend reasons about — so a drop placement computed
+    analytically ("the k-th data frame of flow 7") lands on exactly that
+    frame regardless of how control traffic interleaves.  The hybrid
+    splicing backend uses it to materialize conditioned loss placements
+    inside packet-engine windows.
+
+    Args:
+        drop_indices: 0-based indices among all protected original data
+            frames crossing the link, in transmission order.
+        per_flow: optional ``{flow_id: indices}``; each flow's data
+            frames are counted separately (retx copies excluded).
+        rate: the *nominal* loss rate the placements were conditioned
+            on — reported to Equation 2 (``ProtectedLink.activate``
+            derives the copy count N from it) but never drawn from.
+    """
+
+    def __init__(self, drop_indices=(), per_flow=None, rate: float = 0.0) -> None:
+        self.rate = float(rate)
+        self.drop_indices = {int(i) for i in drop_indices}
+        self.per_flow = {
+            flow_id: {int(i) for i in indices}
+            for flow_id, indices in (per_flow or {}).items()
+        }
+        self._seen = 0
+        self._flow_seen: dict = {}
+
+    def corrupts(self, packet=None) -> bool:
+        if packet is None or packet.lg is None or packet.lg.is_retx:
+            return False
+        index = self._seen
+        self._seen += 1
+        drop = index in self.drop_indices
+        flow_drops = self.per_flow.get(packet.flow_id)
+        if flow_drops is not None:
+            flow_index = self._flow_seen.get(packet.flow_id, 0)
+            self._flow_seen[packet.flow_id] = flow_index + 1
+            drop = drop or flow_index in flow_drops
+        return drop
+
+    @property
+    def frames_seen(self) -> int:
+        return self._seen
 
 
 def burst_length_distribution(

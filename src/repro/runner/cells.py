@@ -78,8 +78,11 @@ def run_cell(spec: Union[ExperimentSpec, dict],
 
     ``spec.backend`` selects the execution engine: ``"packet"`` runs the
     registered event-driven experiment, ``"fastpath"`` routes to the
-    vectorized analytic backend (:mod:`repro.fastpath`).  ``obs``
-    overrides the Observability built from ``spec.obs`` (CLI use).
+    vectorized analytic backend (:mod:`repro.fastpath`), and
+    ``"hybrid"`` to the splicing backend (:mod:`repro.fastpath.splice`)
+    that advances analytically between corruption events and simulates
+    packet-engine windows around them.  ``obs`` overrides the
+    Observability built from ``spec.obs`` (CLI use).
     """
     if isinstance(spec, dict):
         spec = ExperimentSpec.from_dict(spec)
@@ -87,9 +90,14 @@ def run_cell(spec: Union[ExperimentSpec, dict],
         from ..fastpath.backend import run_fastpath_cell
 
         return run_fastpath_cell(spec)
+    if spec.backend == "hybrid":
+        from ..fastpath.splice import run_hybrid_cell
+
+        return run_hybrid_cell(spec)
     if spec.backend != "packet":
         raise ValueError(
-            f"unknown backend {spec.backend!r}; known: packet, fastpath")
+            f"unknown backend {spec.backend!r}; "
+            f"known: packet, fastpath, hybrid")
     try:
         runner = _RUNNERS[spec.kind]
     except KeyError:

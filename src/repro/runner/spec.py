@@ -47,8 +47,10 @@ class ExperimentSpec:
     n_trials: int = 1_000
     rate_gbps: float = 100.0
     seed: int = 1
-    #: execution backend: "packet" (the event-driven engine) or
-    #: "fastpath" (the vectorized analytic models in ``repro.fastpath``)
+    #: execution backend: "packet" (the event-driven engine), "fastpath"
+    #: (the vectorized analytic models in ``repro.fastpath``) or "hybrid"
+    #: (analytic between losses, packet windows around them —
+    #: ``repro.fastpath.splice``)
     backend: str = "packet"
     lg: Dict[str, Any] = field(default_factory=dict)
     params: Dict[str, Any] = field(default_factory=dict)

@@ -92,7 +92,9 @@ class SweepRunner:
 
         # Fastpath cells are a single vectorized batch, not pool work:
         # one NumPy call evaluates all of them, so shipping them to
-        # worker processes would only add pickling overhead.
+        # worker processes would only add pickling overhead.  Hybrid
+        # cells stay in ``pending``: their packet-engine windows are
+        # real per-cell work that benefits from the process pool.
         fastpath = [c for c in pending if c.backend == "fastpath"]
         pending = [c for c in pending if c.backend != "fastpath"]
 

@@ -73,6 +73,39 @@ class EgressPort:
             },
         }
 
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot_state(self):
+        """Capture pause bits, counters and queue contents.
+
+        The serializer (``_busy`` + the in-flight frame's ``_finish``
+        event) is scheduled-event plumbing and is not captured; a
+        snapshot should be taken when the port is between frames or the
+        in-flight frame is expendable (dummies, stale control).
+        """
+        from ..core.state import PortState
+        return PortState(
+            paused=list(self._paused),
+            counters=self.tx_counters.snapshot_state(),
+            queues=[queue.snapshot_state() for queue in self.queues],
+        )
+
+    def restore_state(self, state) -> None:
+        """Restore queue contents and counters, then re-kick the serializer."""
+        from ..core.state import PortState, check_version
+        check_version(state, PortState)
+        if len(state.queues) != len(self.queues):
+            from ..core.state import SnapshotError
+            raise SnapshotError(
+                f"port {self.name!r} has {len(self.queues)} queues, "
+                f"snapshot has {len(state.queues)}")
+        self._paused = list(state.paused)
+        self.tx_counters.restore_state(state.counters)
+        for queue, queue_state in zip(self.queues, state.queues):
+            queue.restore_state(queue_state)
+        self._busy = False
+        self._kick()
+
     # -- queue management ---------------------------------------------------
 
     def add_queue(self, queue: Queue) -> int:

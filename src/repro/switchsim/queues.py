@@ -135,3 +135,22 @@ class Queue:
             "depth_high_watermark_bytes": self.stats.max_bytes,
             "depth_high_watermark_packets": self.stats.max_packets,
         }
+
+    def snapshot_state(self):
+        """Capture held frames + lifetime counters for materialization."""
+        from ..core.state import QueueState
+        return QueueState(
+            name=self.name,
+            packets=[packet.copy() for packet in self._fifo],
+            stats={slot: getattr(self.stats, slot) for slot in QueueStats.__slots__},
+        )
+
+    def restore_state(self, state) -> None:
+        # Writes _fifo/_bytes directly rather than push()ing, which would
+        # re-run drop/ECN logic and perturb the restored counters.
+        from ..core.state import QueueState, check_version
+        check_version(state, QueueState)
+        self._fifo = deque(packet.copy() for packet in state.packets)
+        self._bytes = sum(packet.size for packet in self._fifo)
+        for slot, value in state.stats.items():
+            setattr(self.stats, slot, value)

@@ -1,12 +1,31 @@
-"""Unit tests for the discrete-event kernel."""
+"""Unit tests for the discrete-event kernel.
+
+Every ordering-contract test runs against both :class:`EventQueue`
+implementations — the reference heap and the calendar queue — because
+the repo's "same seed ⇒ same bytes" claims assume dispatch order is a
+property of the kernel contract, not of the queue structure behind it.
+"""
+
+import random
 
 import pytest
 
-from repro.core.engine import SimError, Simulator
+from repro.core.engine import (
+    CalendarEventQueue,
+    HeapEventQueue,
+    SimError,
+    Simulator,
+)
+
+QUEUES = ["heap", "calendar"]
 
 
-def test_events_fire_in_time_order():
-    sim = Simulator()
+@pytest.fixture(params=QUEUES)
+def sim(request):
+    return Simulator(queue=request.param)
+
+
+def test_events_fire_in_time_order(sim):
     order = []
     sim.schedule(30, order.append, "c")
     sim.schedule(10, order.append, "a")
@@ -16,8 +35,7 @@ def test_events_fire_in_time_order():
     assert sim.now == 30
 
 
-def test_same_time_events_fire_fifo():
-    sim = Simulator()
+def test_same_time_events_fire_fifo(sim):
     order = []
     for tag in range(5):
         sim.schedule(100, order.append, tag)
@@ -25,14 +43,23 @@ def test_same_time_events_fire_fifo():
     assert order == [0, 1, 2, 3, 4]
 
 
-def test_run_until_advances_clock_even_when_idle():
-    sim = Simulator()
+def test_same_time_fifo_across_bucket_boundaries():
+    # Ties on a calendar bucket boundary must still break on insertion
+    # order, exactly as in the heap.
+    sim = Simulator(queue=CalendarEventQueue(bucket_ns=64))
+    order = []
+    for tag in range(8):
+        sim.schedule(64, order.append, tag)   # first tick of bucket 1
+    sim.run()
+    assert order == list(range(8))
+
+
+def test_run_until_advances_clock_even_when_idle(sim):
     sim.run(until=5_000)
     assert sim.now == 5_000
 
 
-def test_run_until_does_not_fire_later_events():
-    sim = Simulator()
+def test_run_until_does_not_fire_later_events(sim):
     fired = []
     sim.schedule(100, fired.append, 1)
     sim.schedule(900, fired.append, 2)
@@ -43,17 +70,55 @@ def test_run_until_does_not_fire_later_events():
     assert fired == [1, 2]
 
 
-def test_cancelled_event_does_not_fire():
-    sim = Simulator()
+def test_schedule_after_idle_run_until_stays_ordered(sim):
+    # run(until=) advances the clock without dispatching; scheduling
+    # afterwards (earlier than already-pending events) must still
+    # dispatch in time order.  This is the peek-opens-ahead case the
+    # calendar queue has to re-stash for.
+    fired = []
+    sim.schedule(500_000, fired.append, "far")
+    sim.run(until=10)
+    sim.schedule(5, fired.append, "near")
+    sim.run()
+    assert fired == ["near", "far"]
+
+
+def test_cancelled_event_does_not_fire(sim):
     fired = []
     event = sim.schedule(10, fired.append, "no")
     sim.schedule(5, event.cancel)
     sim.run()
     assert fired == []
+    assert sim.events_cancelled == 1
 
 
-def test_events_scheduled_during_run_are_dispatched():
-    sim = Simulator()
+def test_cancel_then_reschedule(sim):
+    # The cancel-then-reschedule pattern every timer in the repo uses
+    # (RTO re-arm, ackNoTimeout): the replacement fires, the old one
+    # doesn't, and a second cancel of the old handle is a no-op.
+    fired = []
+    old = sim.schedule(10, fired.append, "old")
+    old.cancel()
+    old.cancel()  # idempotent
+    sim.schedule(10, fired.append, "new")
+    sim.run()
+    assert fired == ["new"]
+    assert sim.events_cancelled == 1
+
+
+def test_cancel_after_fire_is_noop(sim):
+    fired = []
+    event = sim.schedule(10, fired.append, "x")
+    sim.run()
+    event.cancel()  # documented safe; must not count as a cancellation
+    assert fired == ["x"]
+    assert sim.events_cancelled == 0
+    sim.schedule(10, fired.append, "y")
+    sim.run()
+    assert fired == ["x", "y"]
+
+
+def test_events_scheduled_during_run_are_dispatched(sim):
     seen = []
 
     def chain(depth):
@@ -66,8 +131,22 @@ def test_events_scheduled_during_run_are_dispatched():
     assert seen == [0, 7, 14, 21]
 
 
-def test_scheduling_in_the_past_raises():
-    sim = Simulator()
+def test_zero_delay_self_reschedule_runs_after_same_time_peers(sim):
+    # A zero-delay reschedule lands at the same timestamp but a later
+    # seq, so it must run *after* events already pending at that time.
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0, order.append, "rescheduled")
+
+    sim.schedule(10, first)
+    sim.schedule(10, order.append, "peer")
+    sim.run()
+    assert order == ["first", "peer", "rescheduled"]
+
+
+def test_scheduling_in_the_past_raises(sim):
     sim.schedule(10, lambda: None)
     sim.run()
     with pytest.raises(SimError):
@@ -76,9 +155,7 @@ def test_scheduling_in_the_past_raises():
         sim.schedule(-1, lambda: None)
 
 
-def test_max_events_guard():
-    sim = Simulator()
-
+def test_max_events_guard(sim):
     def forever():
         sim.schedule(1, forever)
 
@@ -87,14 +164,136 @@ def test_max_events_guard():
     assert sim.events_processed == 50
 
 
-def test_peek_skips_cancelled():
-    sim = Simulator()
+def test_peek_skips_cancelled(sim):
     event = sim.schedule(10, lambda: None)
     sim.schedule(20, lambda: None)
     event.cancel()
     assert sim.peek() == 20
 
 
-def test_step_returns_false_when_empty():
-    sim = Simulator()
+def test_step_returns_false_when_empty(sim):
     assert sim.step() is False
+
+
+def test_unknown_queue_name_raises():
+    with pytest.raises(SimError):
+        Simulator(queue="fibonacci")
+
+
+@pytest.mark.parametrize("impl", QUEUES)
+def test_dispatch_order_bit_identical_to_reference(impl):
+    # The cross-implementation contract: a randomized workload of
+    # schedules, chained reschedules and cancellations dispatches in
+    # exactly the same order on every queue implementation.
+    def trace(queue_name):
+        rng = random.Random(1234)
+        sim = Simulator(queue=queue_name)
+        order = []
+        handles = []
+
+        def fire(tag):
+            order.append((sim.now, tag))
+            if rng.random() < 0.4:
+                handles.append(sim.schedule(rng.randrange(0, 3000), fire,
+                                            tag + 1000))
+            if handles and rng.random() < 0.3:
+                handles.pop(rng.randrange(len(handles))).cancel()
+
+        for tag in range(200):
+            handles.append(sim.schedule(rng.randrange(0, 20_000), fire, tag))
+        sim.run()
+        return order
+
+    assert trace(impl) == trace("heap")
+
+
+@pytest.mark.parametrize("impl", QUEUES)
+def test_eager_compaction_keeps_queue_small(impl):
+    # Satellite: cancelled events must not linger until the pop path
+    # reaches their timestamps once they exceed half the pending set.
+    sim = Simulator(queue=impl)
+    events = [sim.schedule(1_000_000 + i, lambda: None) for i in range(200)]
+    assert len(sim.queue) == 200
+    for event in events[:150]:
+        event.cancel()
+    assert sim.events_cancelled == 150
+    # Compaction triggered somewhere past the half-full mark: the queue
+    # now holds only live entries (+ at most the pre-trigger remainder).
+    assert len(sim.queue) < 200 - 100
+    assert sim.queue.cancelled_pending < 101
+    snap = sim.obs_snapshot()
+    assert snap["events_cancelled"] == 150
+    assert snap["events_compacted"] > 0
+    fired = sim.run()
+    assert fired == 1_000_000 + 199
+    assert sim.events_processed == 50
+
+
+@pytest.mark.parametrize("impl", QUEUES)
+def test_clear_resets_per_run_stats_and_pool(impl):
+    # Satellite: a reused simulator reports per-run stats.
+    sim = Simulator(queue=impl)
+    for i in range(10):
+        sim.schedule(i, lambda: None)
+    sim.schedule(100, lambda: None).cancel()
+    sim.run()
+    assert sim.events_processed == 10
+    assert sim.heap_high_watermark == 11
+    sim.clear()
+    assert sim.events_processed == 0
+    assert sim.events_cancelled == 0
+    assert sim.heap_high_watermark == 0
+    assert sim.wall_seconds == 0.0
+    assert len(sim.queue) == 0
+    assert sim.obs_snapshot()["event_pool_size"] == 0
+    sim.schedule(5, lambda: None)
+    assert sim.heap_high_watermark == 1
+    sim.run()
+    assert sim.events_processed == 1
+
+
+def test_event_pool_recycles_unreferenced_events(sim):
+    # Fire-and-forget events (no caller keeps the handle) are recycled;
+    # the pool never grows past its cap.
+    for i in range(50):
+        sim.schedule(i, lambda: None)
+    sim.run()
+    assert 0 < sim.obs_snapshot()["event_pool_size"] <= Simulator.POOL_CAP
+
+
+def test_held_handles_are_never_recycled(sim):
+    # A caller holding the Event may still call cancel() after it fires
+    # ("safe to call more than once") — so a held event must not be
+    # recycled into a new scheduled event that the stale cancel() would
+    # then kill.
+    held = [sim.schedule(10, lambda: None) for _ in range(5)]
+    sim.run()
+    assert sim.obs_snapshot()["event_pool_size"] == 0
+    fired = []
+    replacement = sim.schedule(10, fired.append, "ok")
+    for event in held:
+        event.cancel()   # stale handles: must not touch `replacement`
+    assert replacement.cancelled is False
+    sim.run()
+    assert fired == ["ok"]
+
+
+def test_jump_to_advances_idle_clock(sim):
+    sim.jump_to(1_000)
+    assert sim.now == 1_000
+    with pytest.raises(SimError):
+        sim.jump_to(500)
+    sim.schedule(100, lambda: None)
+    with pytest.raises(SimError):
+        sim.jump_to(5_000)  # would jump past a pending event
+
+
+@pytest.mark.parametrize("impl", QUEUES)
+def test_queue_instance_can_be_passed_directly(impl):
+    queue = {"heap": HeapEventQueue, "calendar": CalendarEventQueue}[impl]()
+    sim = Simulator(queue=queue)
+    assert sim.queue is queue
+    fired = []
+    sim.schedule(1, fired.append, 1)
+    sim.run()
+    assert fired == [1]
