@@ -1,0 +1,74 @@
+"""Lifecycle-replay scaling: wall clock vs simulated months, chunked vs serial.
+
+Runs the lifecycle subsystem end-to-end at increasing trace durations
+(one to six months of simulated fleet time on the default 4-pod fleet),
+recording wall-clock per duration for both a serial replay and a
+time-chunked parallel one, and asserts the acceptance bar at every
+duration: the chunked parallel rollup is byte-identical to the serial
+one.  The duration/time series lands in
+``benchmarks/results/lifecycle_scaling.json``.
+"""
+
+import os
+import time
+
+from _report import emit, header, save_json, table
+
+from repro.lifecycle import ReplaySpec, TraceSpec, run_replay
+
+WORKERS = 4
+SEED = 7
+
+DURATIONS_DAYS = [30.0, 60.0, 120.0, 180.0]
+
+
+def _replay(duration_days, n_chunks=1) -> ReplaySpec:
+    return ReplaySpec(
+        trace=TraceSpec(duration_days=duration_days, seed=SEED),
+        backend="hybrid",
+        n_chunks=n_chunks,
+    )
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_lifecycle_scaling(benchmark):
+    def _run():
+        rows = []
+        for days in DURATIONS_DAYS:
+            t0 = time.perf_counter()
+            serial = run_replay(_replay(days))
+            t_serial = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            chunked = run_replay(_replay(days, n_chunks=WORKERS),
+                                 workers=WORKERS)
+            t_chunked = time.perf_counter() - t0
+            assert chunked.canonical_json() == serial.canonical_json(), (
+                f"{days:g}-day replay: chunked run diverged from serial")
+            rows.append({
+                "days": int(days),
+                "episodes": serial.counts["n_episodes"],
+                "serial_s": t_serial,
+                "chunked_s": t_chunked,
+                "goodput_slo": serial.slos["goodput_slo_attainment"],
+                "queue_max": serial.slos["repair_queue_depth_max"],
+            })
+        return rows
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    cores = _usable_cores()
+    header(f"Lifecycle scaling — 256-link fleet, hybrid tier, "
+           f"{WORKERS} chunks/workers, {cores} usable cores")
+    table(rows)
+    emit("(time-chunked parallel byte-identical to serial at every duration)")
+    save_json("lifecycle_scaling", {
+        "workers": WORKERS,
+        "seed": SEED,
+        "usable_cores": cores,
+        "rows": rows,
+    })

@@ -914,6 +914,239 @@ def cmd_obs(argv: List[str]) -> int:
     return 0
 
 
+def cmd_lifecycle(argv: List[str]) -> int:
+    """``repro lifecycle {generate,replay,report}`` — month-scale SLO replay.
+
+    ``generate`` writes a deterministic fleet failure trace; ``replay``
+    pushes it (or a spec built from flags) through repair + fleet
+    arbitration into per-day SLO series, time-chunked through the sweep
+    runner; ``report`` renders a saved rollup.  Bad arguments exit 2;
+    ``replay``/``report`` exit 1 when ``--fail-under`` is given and the
+    goodput SLO attainment lands below it.
+    """
+    import os
+
+    parser = argparse.ArgumentParser(
+        prog="repro lifecycle",
+        description="Month-scale fleet lifecycle: failure traces, repair "
+                    "loop, and longitudinal SLO replay.",
+    )
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    def add_fleet_args(p) -> None:
+        p.add_argument("--days", type=float, default=30.0,
+                       help="simulated fleet time (days)")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--fleet-pods", type=int, default=4)
+        p.add_argument("--fleet-tors", type=int, default=8)
+        p.add_argument("--fleet-fabrics", type=int, default=4)
+        p.add_argument("--fleet-spines", type=int, default=8)
+        p.add_argument("--mttf-hours", type=float, default=1_500.0,
+                       help="per-link mean time between corruption onsets")
+
+    gen_p = sub.add_parser("generate",
+                           help="write a deterministic failure trace")
+    add_fleet_args(gen_p)
+    gen_p.add_argument("--out", default=None, metavar="TRACE.json",
+                       help="write the trace document here (default stdout)")
+    gen_p.add_argument("--json", action="store_true")
+
+    rep_p = sub.add_parser("replay",
+                           help="replay a trace into per-day SLO series")
+    add_fleet_args(rep_p)
+    rep_p.add_argument("--trace", default=None, metavar="TRACE.json",
+                       help="replay this generated trace (verified against "
+                            "its embedded spec); fleet flags are ignored")
+    rep_p.add_argument("--policy", default="incremental",
+                       help="fleet arbitration policy "
+                            "(incremental | greedy-worst)")
+    rep_p.add_argument("--repair", default="corropt",
+                       help="repair policy (corropt | exponential | severity)")
+    rep_p.add_argument("--repair-param", action="append", metavar="K=V",
+                       help="one repair-policy parameter (repeatable)")
+    rep_p.add_argument("--backend", default="hybrid",
+                       choices=["packet", "fastpath", "hybrid"],
+                       help="affected-flow evaluation tier")
+    rep_p.add_argument("--chunks", type=int, default=1,
+                       help="time chunks executed through the sweep runner "
+                            "(bit-identical to --chunks 1)")
+    rep_p.add_argument("--workers", type=int, default=1)
+    rep_p.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="JSONL chunk checkpoint; completed chunks are "
+                            "skipped on rerun")
+    rep_p.add_argument("--resim-fraction", type=float, default=0.05)
+    rep_p.add_argument("--goodput-target", type=float, default=0.97,
+                       help="per-day fleet goodput SLO target")
+    rep_p.add_argument("--affected-target", type=float, default=1e-3,
+                       help="per-day affected-flow-fraction SLO target")
+    rep_p.add_argument("--out", default=None, metavar="ROLLUP.json",
+                       help="write the full rollup document here "
+                            "(input to 'repro lifecycle report')")
+    rep_p.add_argument("--fail-under", type=float, default=None,
+                       metavar="FRACTION",
+                       help="exit 1 if goodput SLO attainment < FRACTION")
+    rep_p.add_argument("--json", action="store_true",
+                       help="print the canonical rollup JSON "
+                            "(byte-identical across chunkings/workers)")
+
+    report_p = sub.add_parser("report", help="render a saved replay rollup")
+    report_p.add_argument("rollup", metavar="ROLLUP.json",
+                          help="rollup document from 'replay --out'")
+    report_p.add_argument("--days-table", action="store_true",
+                          help="include the full per-day series table")
+    report_p.add_argument("--fail-under", type=float, default=None,
+                          metavar="FRACTION",
+                          help="exit 1 if goodput SLO attainment < FRACTION")
+    report_p.add_argument("--json", action="store_true")
+
+    args = parser.parse_args(argv)
+    global _JSON_MODE
+    _JSON_MODE = args.json
+
+    from .lifecycle import LifecycleRollup, TraceSpec, generate_trace
+    from .fleet import FleetSpec
+
+    def fleet_from_args() -> TraceSpec:
+        return TraceSpec(
+            fleet=FleetSpec(
+                n_pods=args.fleet_pods,
+                tors_per_pod=args.fleet_tors,
+                fabrics_per_pod=args.fleet_fabrics,
+                spine_uplinks=args.fleet_spines,
+                mttf_hours=args.mttf_hours,
+            ),
+            duration_days=args.days,
+            seed=args.seed,
+        )
+
+    def day_rows(rollup) -> List[dict]:
+        days = rollup.days
+        return [
+            {
+                "day": days["day"][i],
+                "goodput": round(days["goodput_fraction"][i], 6),
+                "affected": round(days["affected_flow_fraction"][i], 8),
+                "onsets": days["episode_onsets"][i],
+                "churn": days["lg_churn"][i],
+                "queue_max": days["repair_queue_depth_max"][i],
+                "floor_viol": days["capacity_floor_violations"][i],
+            }
+            for i in range(len(days["day"]))
+        ]
+
+    def slo_verdict(rollup, fail_under) -> int:
+        attainment = rollup.slos.get("goodput_slo_attainment", 0.0)
+        if fail_under is not None and attainment < fail_under:
+            if not _JSON_MODE:
+                _print(f"FAIL: goodput SLO attainment {attainment:.4f} "
+                       f"< --fail-under {fail_under:g}")
+            return 1
+        return 0
+
+    if args.mode == "generate":
+        trace = generate_trace(fleet_from_args())
+        document = trace.to_json()
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(document + "\n")
+            if not _JSON_MODE:
+                _print(f"trace written to {args.out} "
+                       f"({len(trace.events)} events, "
+                       f"{trace.spec.fleet.n_links} links, "
+                       f"{trace.spec.duration_days:g} days)")
+        else:
+            _print(document)
+        return 0
+
+    if args.mode == "replay":
+        from .lifecycle import ReplaySpec, SloConfig, run_replay
+        from .lifecycle.traces import LifecycleTrace
+        from .obs import Observability
+
+        if args.trace:
+            if not os.path.exists(args.trace):
+                _usage_error(f"{args.trace}: no such file")
+            with open(args.trace) as handle:
+                try:
+                    trace_spec = LifecycleTrace.from_json(handle.read()).spec
+                except ValueError as exc:
+                    _usage_error(f"{args.trace}: {exc}")
+        else:
+            trace_spec = fleet_from_args()
+        repair_params = {}
+        for text in args.repair_param or []:
+            if "=" not in text:
+                _usage_error(
+                    f"--repair-param must look like key=value (got {text!r})")
+            key, _, value = text.partition("=")
+            repair_params[key.strip()] = _coerce_axis_value(value)
+        try:
+            replay = ReplaySpec(
+                trace=trace_spec,
+                policy=args.policy,
+                repair=args.repair,
+                repair_params=repair_params,
+                backend=args.backend,
+                n_chunks=args.chunks,
+                resim_fraction=args.resim_fraction,
+                slo=SloConfig(goodput_target=args.goodput_target,
+                              affected_target=args.affected_target),
+            )
+        except (TypeError, ValueError) as exc:
+            _usage_error(str(exc))
+
+        def progress(result) -> None:
+            if not _JSON_MODE:
+                _print(f"[{result.cell_id}] days "
+                       f"[{result.metrics['day_lo']}, "
+                       f"{result.metrics['day_hi']}) in {result.wall_s:.2f}s")
+
+        obs = Observability()
+        rollup = run_replay(replay, workers=args.workers,
+                            checkpoint=args.checkpoint, obs=obs,
+                            progress=progress)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(rollup.to_json() + "\n")
+            if not _JSON_MODE:
+                _print(f"rollup written to {args.out}")
+        if _JSON_MODE:
+            # The canonical form: byte-identical across chunkings/workers.
+            _print(rollup.canonical_json())
+        else:
+            _print(f"lifecycle: {trace_spec.fleet.n_links} links, "
+                   f"{trace_spec.duration_days:g} days, "
+                   f"policy={replay.policy}, repair={replay.repair}, "
+                   f"backend={replay.backend}, {replay.n_chunks} chunk(s)")
+            _emit([rollup.summary()])
+        return slo_verdict(rollup, args.fail_under)
+
+    # report
+    if not os.path.exists(args.rollup):
+        _usage_error(f"{args.rollup}: no such file")
+    with open(args.rollup) as handle:
+        try:
+            rollup = LifecycleRollup.from_json(handle.read())
+        except ValueError as exc:
+            _usage_error(f"{args.rollup}: {exc}")
+    if _JSON_MODE:
+        _print(json.dumps(
+            {"slos": rollup.slos, "counts": rollup.counts,
+             **({"days": rollup.days} if args.days_table else {})},
+            default=_json_default))
+    else:
+        trace = rollup.spec.get("trace", {})
+        _print(f"lifecycle rollup: {trace.get('duration_days', '?')} days, "
+               f"policy={rollup.spec.get('policy', '?')}, "
+               f"repair={rollup.spec.get('repair', '?')}, "
+               f"backend={rollup.spec.get('backend', '?')}")
+        _emit([rollup.summary()])
+        if args.days_table:
+            _print()
+            _emit(day_rows(rollup))
+    return slo_verdict(rollup, args.fail_under)
+
+
 COMMANDS = {
     "fig01": (cmd_fig01, "PLR vs optical attenuation per transceiver"),
     "fig02": (cmd_fig02, "flow-size CDFs of six datacenter workloads"),
@@ -954,6 +1187,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "obs":
         # And spans/timeline/top for obs artifact inspection.
         return cmd_obs(argv[1:])
+    if argv and argv[0] == "lifecycle":
+        # And generate/replay/report for month-scale SLO replay.
+        return cmd_lifecycle(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Run LinkGuardian reproduction experiments.",
@@ -1069,6 +1305,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         rows.append({"experiment": "obs",
                      "description": "inspect span trees, timelines, and "
                                     "cell costs ('repro obs -h')"})
+        rows.append({"experiment": "lifecycle",
+                     "description": "month-scale fleet traces, repair loop, "
+                                    "SLO replay ('repro lifecycle -h')"})
         _emit(rows)
         return 0
     command, _ = COMMANDS[args.experiment]

@@ -20,19 +20,28 @@ class RngFactory:
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
 
-    def child_seed(self, name: str) -> int:
-        """An integer seed unique to ``(seed, name)`` and stable across runs.
+    def child_seed(self, name: str, index: int = None) -> int:
+        """An integer seed unique to ``(seed, name[, index])``, stable across runs.
 
         The same derivation backs :meth:`stream`; exposing the integer lets
         callers that need a plain seed (experiment cells dispatched to worker
         processes, nested factories) share the one naming scheme.
+
+        ``index`` addresses one element of a sequence under the name — a
+        link's k-th failure event, a trace's k-th repair draw — so the
+        draws at index k never depend on how many values earlier indices
+        consumed.  A trace truncated or extended in time therefore
+        regenerates every surviving event byte-identically.
         """
-        digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+        key = (f"{self.seed}:{name}" if index is None
+               else f"{self.seed}:{name}#{int(index)}")
+        digest = hashlib.sha256(key.encode()).digest()
         return int.from_bytes(digest[:8], "little")
 
-    def stream(self, name: str) -> np.random.Generator:
-        """Return a generator unique to ``(seed, name)`` and stable across runs."""
-        return np.random.default_rng(self.child_seed(name))
+    def stream(self, name: str, index: int = None) -> np.random.Generator:
+        """Return a generator unique to ``(seed, name[, index])``, stable
+        across runs.  See :meth:`child_seed` for ``index`` semantics."""
+        return np.random.default_rng(self.child_seed(name, index))
 
     def spawn(self, name: str) -> "RngFactory":
         """A child factory whose streams are independent of the parent's."""

@@ -21,6 +21,7 @@ across worker processes.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, List
@@ -37,6 +38,9 @@ __all__ = [
 ]
 
 DAY_S = 24 * HOURS
+
+#: format tag carried by FleetSpec.to_json documents
+FLEET_SPEC_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -92,6 +96,38 @@ class FleetSpec:
         if unknown:
             raise ValueError(f"unknown FleetSpec fields: {sorted(unknown)}")
         return cls(**data)
+
+    def to_json(self) -> str:
+        """Canonical one-document form for saving a topology to disk.
+
+        Carries a format tag so a trace or replay started elsewhere can
+        verify it is binding to a fleet spec (and not some other JSON) —
+        :meth:`from_json` round-trips byte-identically.
+        """
+        return json.dumps({"fleet_spec": FLEET_SPEC_VERSION, **self.to_dict()},
+                          sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetSpec":
+        """Parse and validate a :meth:`to_json` document.
+
+        Validation is the full constructor path: the version tag must
+        match, field names must be known, and ``__post_init__`` range
+        checks run — a corrupted or hand-edited file fails loudly here
+        rather than as a mis-shaped fleet three layers down.
+        """
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ValueError(f"not valid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise ValueError("fleet spec JSON must be an object")
+        version = data.pop("fleet_spec", None)
+        if version != FLEET_SPEC_VERSION:
+            raise ValueError(
+                f"not a fleet spec document (fleet_spec tag {version!r}, "
+                f"expected {FLEET_SPEC_VERSION})")
+        return cls.from_dict(data)
 
     def with_(self, **overrides: Any) -> "FleetSpec":
         return replace(self, **overrides)

@@ -1,0 +1,373 @@
+"""Longitudinal replay: trace → repair → arbitration → per-day SLO series.
+
+The lifecycle pipeline's execution layer.  One :class:`ReplaySpec` binds
+a failure trace (:class:`~repro.lifecycle.traces.TraceSpec`) to a repair
+policy, a :class:`~repro.fleet.controller.FleetController` arbitration
+policy, an evaluation tier, and the SLO targets — everything a months-long
+fleet history needs to become the per-day series of
+:mod:`repro.lifecycle.slo`.
+
+Execution is **time-chunked**, not link-sharded: the month is split into
+contiguous day ranges, each a ``lifecycle_chunk`` runner cell executed
+through :class:`~repro.runner.sweep.SweepRunner` (process pool, JSONL
+checkpoint/resume for free).  Chunks cannot share state, so each one
+regenerates the (cheap, deterministic) global pipeline — trace, repair
+draws, serial arbitration — and then evaluates only its own day range.
+That works because every expensive or random quantity is addressed, not
+sequential:
+
+* failure and repair draws come from ``(link_id, event_index)`` streams,
+  so regeneration is byte-identical in every chunk;
+* per-episode affected-flow fractions are pure functions of the same
+  event key (``lifecycle.link.<id>.flows`` at ``index=event_index``), so
+  a boundary-spanning episode evaluates identically in both chunks;
+* the flagged-for-resim set ranks the *fleet-wide* episode list inside
+  each chunk (closed-form, cheap), so flagging is chunking-independent.
+
+Hence :meth:`~repro.lifecycle.slo.LifecycleRollup.canonical_json` is
+byte-identical for any ``(n_chunks, workers)`` — the acceptance bar this
+module is built around.
+
+Tiers mirror the fleet campaign: ``fastpath`` is the Gilbert–Elliott
+closed form everywhere plus empirical re-simulation of the flagged worst
+episodes; ``hybrid`` additionally samples any episode whose analytic
+fraction reaches the splice threshold; ``packet`` samples every episode.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..core.rng import RngFactory
+from ..fleet.campaign import HYBRID_EMPIRICAL_THRESHOLD, shard_bounds
+from ..fleet.controller import (
+    POLICIES, ControllerConfig, ControllerOutcome, FleetController,
+)
+from ..fleet.topology import DAY_S, FleetTopology, sample_affected_fraction
+from ..runner.spec import ExperimentSpec, SweepSpec
+from ..runner.sweep import SweepRunner
+from .repair import RepairedEpisode, apply_repair, repair_policy
+from .slo import LifecycleRollup, SloConfig, accumulate_days, summarize_days
+from .traces import LifecycleTrace, TraceSpec
+
+__all__ = [
+    "ReplaySpec", "chunk_sweep", "run_chunk", "run_replay",
+]
+
+_BACKENDS = ("packet", "fastpath", "hybrid")
+
+
+@dataclass(frozen=True)
+class ReplaySpec:
+    """Everything one lifecycle replay needs, serializable for chunk cells."""
+
+    trace: TraceSpec = field(default_factory=TraceSpec)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    #: fleet arbitration policy (see repro.fleet.controller.POLICIES)
+    policy: str = "incremental"
+    #: repair policy name + parameters (see repro.lifecycle.repair)
+    repair: str = "corropt"
+    repair_params: Dict[str, Any] = field(default_factory=dict)
+    #: evaluation tier for per-episode affected-flow fractions
+    backend: str = "hybrid"
+    #: contiguous day ranges the replay is split into for execution
+    n_chunks: int = 1
+    #: offered load per link, for the affected-flow rollup
+    flows_per_link_per_s: float = 100.0
+    flow_packets: int = 100
+    #: flows sampled per empirically-evaluated episode
+    sample_flows: int = 128
+    #: fraction of episodes (the worst, by analytic affected fraction)
+    #: re-simulated empirically even on the fastpath tier
+    resim_fraction: float = 0.05
+    slo: SloConfig = field(default_factory=SloConfig)
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; known: {sorted(POLICIES)}")
+        # Validate the repair (name, params) combination eagerly so a bad
+        # spec fails at construction, not inside a worker process.
+        repair_policy(self.repair, self.repair_params)
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"known: {', '.join(_BACKENDS)}")
+        if not 1 <= self.n_chunks <= self.trace.n_days:
+            raise ValueError(
+                f"n_chunks must be in [1, {self.trace.n_days}] "
+                f"(one chunk needs at least one day)")
+        if self.flows_per_link_per_s <= 0 or self.flow_packets < 1:
+            raise ValueError("flow knobs must be positive")
+        if self.sample_flows < 1:
+            raise ValueError("sample_flows must be >= 1")
+        if not 0.0 <= self.resim_fraction <= 1.0:
+            raise ValueError("resim_fraction must be in [0, 1]")
+
+    @property
+    def n_days(self) -> int:
+        return self.trace.n_days
+
+    def chunk_days(self, chunk: int) -> Tuple[int, int]:
+        """The ``[day_lo, day_hi)`` range of one chunk (balanced)."""
+        return shard_bounds(self.n_days, self.n_chunks, chunk)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["trace"] = self.trace.to_dict()
+        out["controller"] = self.controller.to_dict()
+        out["repair_params"] = dict(self.repair_params)
+        out["slo"] = self.slo.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ReplaySpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ReplaySpec fields: {sorted(unknown)}")
+        data = dict(data)
+        data["trace"] = TraceSpec.from_dict(data.get("trace", {}))
+        data["controller"] = ControllerConfig.from_dict(
+            data.get("controller", {}))
+        data["slo"] = SloConfig.from_dict(data.get("slo", {}))
+        return cls(**data)
+
+
+def _arbitrate(
+    replay: ReplaySpec,
+) -> Tuple[List[RepairedEpisode], int, ControllerOutcome, FleetController]:
+    """The global serial pipeline every chunk regenerates identically:
+    trace generation, repair application, controller arbitration."""
+    trace = LifecycleTrace.generate(replay.trace)
+    episodes, coalesced = apply_repair(
+        trace, repair_policy(replay.repair, replay.repair_params))
+    topology = FleetTopology(replay.trace.fleet, replay.trace.seed)
+    controller = FleetController(
+        topology, replay.controller, POLICIES[replay.policy]())
+    outcome = controller.run([r.episode for r in episodes])
+    return episodes, coalesced, outcome, controller
+
+
+def _flagged_keys(
+    replay: ReplaySpec,
+    episodes: List[RepairedEpisode],
+    analytic: List[float],
+) -> Set[Tuple[int, int]]:
+    """Event keys of the worst ``resim_fraction`` episodes, by analytic
+    affected fraction (loss rate breaking ties).  Ranks the fleet-wide
+    list — a pure function of the replay spec, so chunking-independent."""
+    if not episodes or replay.resim_fraction <= 0.0:
+        return set()
+    n_flagged = min(len(episodes), max(1, math.ceil(
+        replay.resim_fraction * len(episodes))))
+    ranked = sorted(
+        range(len(episodes)),
+        key=lambda i: (-analytic[i],
+                       -episodes[i].episode.loss_rate,
+                       episodes[i].episode.link_id,
+                       episodes[i].episode.onset_s))
+    return {(episodes[i].episode.link_id, episodes[i].event_index)
+            for i in ranked[:n_flagged]}
+
+
+class _AffectedEvaluator:
+    """Lazy tiered evaluation of per-episode affected-flow fractions.
+
+    The tier decision (analytic closed form vs empirical Gilbert–Elliott
+    sampling) is made per episode from fleet-wide information, and the
+    empirical draw comes from the episode's own
+    ``(link_id, event_index)``-addressed stream — so any chunk that
+    touches an episode computes the identical value, and a chunk never
+    pays for episodes outside its day range.
+    """
+
+    def __init__(self, replay: ReplaySpec,
+                 episodes: List[RepairedEpisode]) -> None:
+        from ..fastpath.model import ge_affected_fraction
+
+        self.replay = replay
+        self.episodes = episodes
+        self.factory = RngFactory(replay.trace.seed)
+        self.analytic = [
+            float(ge_affected_fraction(
+                r.episode.loss_rate, r.episode.mean_burst,
+                replay.flow_packets))
+            for r in episodes
+        ]
+        self.flagged = _flagged_keys(replay, episodes, self.analytic)
+        self.empirical_evaluated = 0
+        self._cache: Dict[int, float] = {}
+
+    def _needs_empirical(self, index: int) -> bool:
+        backend = self.replay.backend
+        if backend == "packet":
+            return True
+        key = (self.episodes[index].episode.link_id,
+               self.episodes[index].event_index)
+        if key in self.flagged:
+            return True
+        return (backend == "hybrid"
+                and self.analytic[index] >= HYBRID_EMPIRICAL_THRESHOLD)
+
+    def __call__(self, index: int) -> float:
+        cached = self._cache.get(index)
+        if cached is not None:
+            return cached
+        repaired = self.episodes[index]
+        episode = repaired.episode
+        if self._needs_empirical(index):
+            rng = self.factory.stream(
+                f"lifecycle.link.{episode.link_id}.flows",
+                index=repaired.event_index)
+            value = sample_affected_fraction(
+                rng, episode.loss_rate, episode.mean_burst,
+                self.replay.flow_packets, self.replay.sample_flows)
+            self.empirical_evaluated += 1
+        else:
+            value = self.analytic[index]
+        self._cache[index] = value
+        return value
+
+
+def run_chunk(replay: ReplaySpec, chunk: int) -> Dict[str, Any]:
+    """One chunk's day-range columns plus the global audit counters.
+
+    ``days`` holds only the chunk's ``[day_lo, day_hi)`` rows; ``counts``
+    are the replay-global controller/repair counters, identical in every
+    chunk (each regenerates the same global pipeline), so the merge can
+    take them from any one chunk.
+    """
+    episodes, coalesced, outcome, controller = _arbitrate(replay)
+    evaluator = _AffectedEvaluator(replay, episodes)
+    day_lo, day_hi = replay.chunk_days(chunk)
+    fleet = replay.trace.fleet
+    days = accumulate_days(
+        day_lo, day_hi,
+        episodes=episodes,
+        outcome=outcome,
+        affected_of=evaluator,
+        effective_loss=controller.effective_loss,
+        duration_s=replay.trace.duration_s,
+        n_links=fleet.n_links,
+        links_per_pod=fleet.n_links // fleet.n_pods,
+        n_pods=fleet.n_pods,
+        pod_capacity_floor=replay.controller.pod_capacity_floor,
+        flows_per_link_per_s=replay.flows_per_link_per_s,
+        flow_packets=replay.flow_packets,
+    )
+    counts = dict(outcome.counts())
+    counts["n_episodes"] = len(episodes)
+    counts["coalesced_events"] = coalesced
+    counts["flagged_resim"] = len(evaluator.flagged)
+    return {
+        "days": days,
+        "counts": counts,
+        "chunk": {
+            "chunk": chunk,
+            "day_lo": day_lo,
+            "day_hi": day_hi,
+            "empirical_evaluated": evaluator.empirical_evaluated,
+        },
+    }
+
+
+def chunk_sweep(replay: ReplaySpec) -> SweepSpec:
+    """The replay's time chunks as one runner sweep (kind
+    ``lifecycle_chunk``).  The cell backend stays ``"packet"`` — the
+    lifecycle tier rides inside the replay dict, because the runner's
+    ``backend`` field selects the FCT-level execution engine."""
+    base = ExperimentSpec(
+        kind="lifecycle_chunk",
+        scenario=replay.policy,
+        n_trials=1,
+        seed=replay.trace.seed,
+        params={"replay": replay.to_dict()},
+    )
+    return SweepSpec(
+        name=(f"lifecycle-{replay.policy}-{replay.trace.fleet.n_links}links"
+              f"-{replay.n_days}d"),
+        base=base,
+        axes={"params.chunk": list(range(replay.n_chunks))},
+    )
+
+
+def run_replay(
+    replay: ReplaySpec,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    obs=None,
+    progress=None,
+) -> LifecycleRollup:
+    """Run the full replay: chunked evaluation, merge, SLO rollup.
+
+    The merge concatenates the chunks' disjoint day ranges in canonical
+    sweep order and recomputes the attainment summaries over the merged
+    columns — no floating-point reduction crosses a chunk boundary, so
+    the rollup is byte-identical for any ``(n_chunks, workers)``.
+    """
+    started = time.perf_counter()
+    runner = SweepRunner(chunk_sweep(replay), workers=workers,
+                         checkpoint=checkpoint)
+    results = runner.run(progress=progress)
+
+    days: Dict[str, list] = {}
+    for result in results:
+        for name, column in result.series["days"].items():
+            days.setdefault(name, []).extend(column)
+    counts = dict(results[0].series["counts"])
+    slos = summarize_days(days, replay.slo)
+    rollup = LifecycleRollup(
+        spec=replay.to_dict(),
+        slos=slos,
+        counts=counts,
+        days=days,
+        wall_s=time.perf_counter() - started,
+    )
+    if obs is not None:
+        _record_obs(obs, replay, rollup, results)
+    return rollup
+
+
+def _record_obs(obs, replay: ReplaySpec, rollup: LifecycleRollup,
+                results) -> None:
+    """Longitudinal obs integration: registry counters and a per-day
+    timeline sampled through a decimating :class:`TimelineRecorder`.
+
+    The timeline is diagnostics — it rides in ``rollup.artifacts``, never
+    the canonical form — and deliberately exercises the recorder's
+    ``decimate`` policy so month-scale series degrade to coarser cadence
+    instead of losing their head.
+    """
+    from ..obs.timeline import TimelineRecorder
+
+    registry = obs.registry
+    registry.counter("lifecycle.replay.runs").inc()
+    registry.counter("lifecycle.replay.chunks").inc(replay.n_chunks)
+    registry.counter("lifecycle.replay.episodes").inc(
+        rollup.counts.get("n_episodes", 0))
+    registry.counter("lifecycle.replay.coalesced").inc(
+        rollup.counts.get("coalesced_events", 0))
+    registry.counter("lifecycle.replay.empirical").inc(
+        sum(r.metrics.get("empirical_evaluated", 0) for r in results))
+    registry.register_provider(
+        f"lifecycle.rollup.{replay.policy}", rollup.summary)
+
+    gauges = {
+        name: registry.gauge(f"lifecycle.day.{name}")
+        for name in ("goodput_fraction", "affected_flow_fraction",
+                     "repair_queue_depth_mean", "lg_churn",
+                     "capacity_floor_violations")
+    }
+    recorder = TimelineRecorder(
+        registry, interval_ns=int(DAY_S * 1e9), capacity=64,
+        include=("lifecycle.day.",), policy="decimate")
+    for row, day in enumerate(rollup.days["day"]):
+        for name, gauge in gauges.items():
+            gauge.set(rollup.days[name][row])
+        recorder.sample(int(day * DAY_S * 1e9))
+    recorder.stop()
+    rollup.artifacts["timeline"] = recorder.series()

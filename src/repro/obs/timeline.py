@@ -13,10 +13,25 @@ its own ticks, and survives multi-simulator experiments (FCT builds one
 testbed per transport/scenario): each install bumps a ``run`` counter
 recorded with every sample, so series from consecutive simulators stay
 distinguishable even though simulated time restarts at zero.
+
+Month-scale runs outlive any fixed ring: at one sample per simulated
+day a 90-day lifecycle replay fits easily, but per-episode cadences do
+not, so overflow behaviour is a policy:
+
+* ``policy="drop"`` (default, the original behaviour) evicts the oldest
+  sample — the ring becomes a sliding window over the run's tail;
+* ``policy="decimate"`` halves the retained resolution instead: every
+  other sample is discarded and the effective interval doubles, so the
+  ring always spans the *whole* run at progressively coarser cadence —
+  the right trade for longitudinal SLO series;
+* ``spill=<path>`` (composable with ``policy="drop"``) appends each
+  evicted sample to a JSONL file, so nothing is lost even when the
+  in-memory ring is tight.
 """
 
 from __future__ import annotations
 
+import json
 import math
 from collections import deque
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -57,23 +72,36 @@ class TimelineRecorder:
     """Bounded ring-of-snapshots sampler over a metrics registry."""
 
     __slots__ = ("registry", "interval_ns", "capacity", "enabled",
-                 "include", "runs", "sampled", "dropped", "_samples")
+                 "include", "policy", "spill", "runs", "sampled", "dropped",
+                 "decimations", "_samples", "_spill_handle")
 
     def __init__(self, registry, interval_ns: int = 1_000_000,
                  capacity: int = 4096,
-                 include: Optional[Sequence[str]] = None) -> None:
+                 include: Optional[Sequence[str]] = None,
+                 policy: str = "drop",
+                 spill: Optional[str] = None) -> None:
         if interval_ns <= 0:
             raise ValueError("timeline interval_ns must be positive")
+        if capacity < 2:
+            raise ValueError("timeline capacity must be >= 2")
+        if policy not in ("drop", "decimate"):
+            raise ValueError(
+                f"unknown timeline policy {policy!r}; known: drop, decimate")
         self.registry = registry
         self.interval_ns = int(interval_ns)
         self.capacity = int(capacity)
         self.include = tuple(include) if include else None
+        self.policy = policy
+        self.spill = spill
         self.enabled = True
         self.runs = 0
         self.sampled = 0
         self.dropped = 0
+        #: times the ring halved its resolution (policy="decimate")
+        self.decimations = 0
         #: ring of (run, ts_ns, {name: value}) tuples
         self._samples: deque = deque()
+        self._spill_handle = None
 
     # -- recording -------------------------------------------------------
 
@@ -82,6 +110,8 @@ class TimelineRecorder:
 
         Each install starts a new ``run`` (simulated time restarts per
         simulator); ticks stop rescheduling once :meth:`stop` is called.
+        The reschedule reads ``interval_ns`` each tick, so a decimation
+        pass slows future sampling to the coarser cadence too.
         """
         if not self.enabled:
             return
@@ -105,13 +135,44 @@ class TimelineRecorder:
         self._samples.append((run if run is not None else self.runs,
                               int(ts_ns), flat))
         self.sampled += 1
-        while len(self._samples) > self.capacity:
-            self._samples.popleft()
-            self.dropped += 1
+        if self.policy == "decimate":
+            if len(self._samples) > self.capacity:
+                self._decimate()
+        else:
+            while len(self._samples) > self.capacity:
+                self._evict(self._samples.popleft())
+
+    def _evict(self, sample: Tuple[int, int, Dict[str, float]]) -> None:
+        self.dropped += 1
+        if self.spill is not None:
+            if self._spill_handle is None:
+                self._spill_handle = open(self.spill, "a")
+            run, ts_ns, flat = sample
+            self._spill_handle.write(json.dumps(
+                {"run": run, "ts_ns": ts_ns, "metrics": flat},
+                sort_keys=True, separators=(",", ":")) + "\n")
+
+    def _decimate(self) -> None:
+        """Halve resolution: keep every other sample, double the interval.
+
+        The first retained sample stays the oldest one, so the ring keeps
+        covering the run from its start; the effective cadence doubles,
+        which :meth:`install` picks up on its next reschedule.
+        """
+        kept = deque(sample for index, sample in enumerate(self._samples)
+                     if index % 2 == 0)
+        removed = len(self._samples) - len(kept)
+        self._samples = kept
+        self.dropped += removed
+        self.interval_ns *= 2
+        self.decimations += 1
 
     def stop(self) -> None:
         """Disable further sampling; pending ticks become no-ops."""
         self.enabled = False
+        if self._spill_handle is not None:
+            self._spill_handle.close()
+            self._spill_handle = None
 
     # -- reading ---------------------------------------------------------
 
@@ -140,8 +201,10 @@ class TimelineRecorder:
         return {
             "interval_ns": self.interval_ns,
             "capacity": self.capacity,
+            "policy": self.policy,
             "sampled": self.sampled,
             "dropped": self.dropped,
+            "decimations": self.decimations,
             "run": runs,
             "ts_ns": ts,
             "metrics": columns,

@@ -342,6 +342,25 @@ def _run_fleet_shard(spec: ExperimentSpec, ctx: RunContext) -> CellResult:
     return result
 
 
+@register("lifecycle_chunk")
+def _run_lifecycle_chunk(spec: ExperimentSpec, ctx: RunContext) -> CellResult:
+    """One time chunk of a lifecycle replay: its day range's SLO columns.
+
+    ``spec.params`` carries the serialized replay plus the chunk index;
+    the lifecycle rollup (``repro.lifecycle.replay.run_replay``) merges
+    the chunks' disjoint day ranges back into one longitudinal series.
+    The replay-global audit counters ride in ``series["counts"]`` —
+    identical in every chunk, so the merge reads them from any one.
+    """
+    from ..lifecycle.replay import ReplaySpec, run_chunk
+
+    replay = ReplaySpec.from_dict(spec.params["replay"])
+    chunk = int(spec.params.get("chunk", 0))
+    out = run_chunk(replay, chunk)
+    return _result(spec, dict(out["chunk"]),
+                   {"days": out["days"], "counts": out["counts"]})
+
+
 @register("checker")
 def _run_checker(spec: ExperimentSpec, ctx: RunContext) -> CellResult:
     """Conformance checking as a runner cell.

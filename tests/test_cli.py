@@ -260,3 +260,74 @@ class TestUsageErrorExitCodes:
     def test_check_listed_in_list_output(self, capsys):
         assert main(["list"]) == 0
         assert "check" in capsys.readouterr().out
+
+
+class TestLifecycleCli:
+    FLEET_ARGS = ["--fleet-pods", "1", "--fleet-tors", "2",
+                  "--fleet-spines", "2", "--mttf-hours", "300",
+                  "--days", "8", "--seed", "3"]
+
+    def test_generate_replay_report_end_to_end(self, capsys, tmp_path):
+        import json
+
+        trace_path = str(tmp_path / "trace.json")
+        rollup_path = str(tmp_path / "rollup.json")
+        assert main(["lifecycle", "generate", *self.FLEET_ARGS,
+                     "--out", trace_path]) == 0
+        assert "trace written" in capsys.readouterr().out
+
+        assert main(["lifecycle", "replay", "--trace", trace_path,
+                     "--chunks", "2", "--out", rollup_path, "--json"]) == 0
+        canonical = capsys.readouterr().out
+        data = json.loads(canonical)
+        assert "goodput_slo_attainment" in data["slos"]
+        assert "n_episodes" in data["counts"]
+        assert len(data["days"]["day"]) == 8
+
+        assert main(["lifecycle", "report", rollup_path,
+                     "--days-table"]) == 0
+        out = capsys.readouterr().out
+        assert "lifecycle rollup" in out
+        assert "goodput" in out
+
+    def test_chunking_is_invisible_in_canonical_output(self, capsys):
+        argv = ["lifecycle", "replay", *self.FLEET_ARGS, "--json"]
+        assert main(argv + ["--chunks", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--chunks", "4", "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_replay_fail_under_gates_exit_code(self, capsys):
+        argv = ["lifecycle", "replay", *self.FLEET_ARGS,
+                "--goodput-target", "0.9999999"]
+        assert main(argv + ["--fail-under", "1.01"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+        assert main(argv + ["--fail-under", "0.0"]) == 0
+
+    def test_generate_to_stdout_parses_as_trace(self, capsys):
+        from repro.lifecycle.traces import LifecycleTrace
+
+        assert main(["lifecycle", "generate", *self.FLEET_ARGS,
+                     "--json"]) == 0
+        trace = LifecycleTrace.from_json(capsys.readouterr().out)
+        assert trace.spec.duration_days == 8.0
+
+    def test_rejects_bad_arguments(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lifecycle", "replay", "--trace", "/nonexistent.json"])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lifecycle", "replay", "--repair", "bogus"])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lifecycle", "replay", "--repair-param", "oops"])
+        assert excinfo.value.code == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"not": "a trace"}')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lifecycle", "replay", "--trace", str(bad)])
+        assert excinfo.value.code == 2
+
+    def test_lifecycle_listed_in_list_output(self, capsys):
+        assert main(["list"]) == 0
+        assert "lifecycle" in capsys.readouterr().out

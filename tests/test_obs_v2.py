@@ -462,3 +462,83 @@ class TestPhaseTimer:
         timings = timer.timings()
         assert timings["setup"] == 0.75
         assert timings["run"] >= 0.0
+
+
+class TestTimelineOverflowPolicies:
+    def test_rejects_unknown_policy_and_tiny_capacity(self):
+        with pytest.raises(ValueError, match="policy"):
+            TimelineRecorder(MetricsRegistry(), policy="bogus")
+        with pytest.raises(ValueError, match="capacity"):
+            TimelineRecorder(MetricsRegistry(), capacity=1)
+
+    def test_decimate_spans_whole_run_at_coarser_cadence(self):
+        recorder = TimelineRecorder(MetricsRegistry(), interval_ns=1,
+                                    capacity=4, policy="decimate")
+        for ts in range(9):
+            recorder.sample(ts, run=1)
+        series = recorder.series()
+        # The ring still starts at t=0 (unlike policy="drop", which
+        # keeps only the tail) and the cadence has doubled per pass.
+        assert series["ts_ns"][0] == 0
+        assert series["ts_ns"][-1] == 8
+        assert len(series["ts_ns"]) <= 4
+        assert series["decimations"] >= 2
+        assert series["interval_ns"] == 1 * 2 ** series["decimations"]
+        assert series["sampled"] == 9
+        assert series["dropped"] == 9 - len(series["ts_ns"])
+        assert validate_timeline(series) == []
+
+    def test_decimation_memory_stays_bounded(self):
+        # Regression: month-scale runs must not grow the ring without
+        # bound — 10k samples into a 64-slot decimating ring stay <= 64.
+        recorder = TimelineRecorder(MetricsRegistry(), interval_ns=1,
+                                    capacity=64, policy="decimate")
+        for ts in range(10_000):
+            recorder.sample(ts, run=1)
+        assert len(recorder.samples()) <= 64
+        assert recorder.sampled == 10_000
+
+    def test_decimation_slows_installed_tick_cadence(self):
+        from repro.core.engine import Simulator
+
+        obs = Observability(
+            timeline={"interval_ns": 1_000, "capacity": 4,
+                      "policy": "decimate"})
+        sim = Simulator(obs=obs)
+        sim.schedule(40_000, lambda: None)
+        sim.run(until=40_000)
+        series = obs.timeline.series()
+        # After decimation the recorder re-arms at the doubled interval,
+        # so consecutive retained samples are spaced >= 1000ns apart and
+        # far fewer than 41 samples were ever taken live.
+        assert obs.timeline.interval_ns > 1_000
+        assert obs.timeline.sampled < 41
+        assert validate_timeline(series) == []
+
+    def test_drop_policy_spills_evicted_samples(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        reg = MetricsRegistry()
+        counter = reg.counter("x")
+        recorder = TimelineRecorder(reg, interval_ns=1, capacity=2,
+                                    policy="drop", spill=str(spill))
+        for ts in range(5):
+            counter.inc()
+            recorder.sample(ts, run=1)
+        recorder.stop()
+        rows = [json.loads(line)
+                for line in spill.read_text().splitlines()]
+        # The three evicted samples landed in the spill file, oldest
+        # first; the ring keeps the final two — nothing is lost.
+        assert [row["ts_ns"] for row in rows] == [0, 1, 2]
+        assert rows[0]["metrics"]["x.value"] == 1
+        assert recorder.series()["ts_ns"] == [3, 4]
+        assert recorder.dropped == 3
+
+    def test_no_spill_file_without_overflow(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        recorder = TimelineRecorder(MetricsRegistry(), interval_ns=1,
+                                    capacity=8, spill=str(spill))
+        for ts in range(4):
+            recorder.sample(ts, run=1)
+        recorder.stop()
+        assert not spill.exists()
