@@ -1,0 +1,102 @@
+"""Control-plane what-if throughput: cold dispatch vs cached answers.
+
+The service's operating claim (ROADMAP item, PR-9): an operator tool
+can fan 50+ concurrent what-if queries at ``repro serve`` and the LRU
+over canonical cell-grid keys absorbs the repeat traffic — a cached
+answer must be >= 100x faster than a cold fastpath dispatch.  This
+benchmark measures both ends on one in-process service instance (inline
+executor: no worker-pool or socket noise in the cold number, which
+makes the ratio a *lower* bound on the deployed speedup) and checks the
+numbers into ``benchmarks/results/service_throughput.json``.
+"""
+
+import asyncio
+import json
+import time
+
+from _report import emit, header, save_json, table
+
+from repro.fleet.topology import FleetSpec
+from repro.service import ControlPlaneService, ServiceConfig
+from repro.service.http import request
+
+FLEET = FleetSpec(n_pods=2, tors_per_pod=4, fabrics_per_pod=2,
+                  spine_uplinks=4, mttf_hours=300.0)
+#: distinct grid cells probed (loss rates x flow sizes)
+RATES = [5e-4, 1e-3, 2e-3, 5e-3, 1e-2]
+FLOWS = [143, 24_387]
+CONCURRENCY = 64
+
+
+async def _drive() -> dict:
+    config = ServiceConfig(port=0, fleet=FLEET, telemetry="none",
+                           executor="inline", backend="fastpath",
+                           queue_limit=CONCURRENCY, max_inflight=4,
+                           cache_size=256)
+    service = ControlPlaneService(config)
+    await service.start()
+    try:
+        bodies = [{"loss_rate": rate, "flow_size": flow,
+                   "kind": "fct", "n_trials": 400}
+                  for rate in RATES for flow in FLOWS]
+
+        async def ask(body):
+            status, _, raw = await request("127.0.0.1", service.port,
+                                           "POST", "/whatif", body)
+            assert status == 200, raw.decode()[:200]
+            return json.loads(raw)
+
+        # Phase 1 — cold: every distinct cell dispatched once.
+        t0 = time.perf_counter()
+        cold = [await ask(body) for body in bodies]
+        cold_elapsed = time.perf_counter() - t0
+        assert all(not r["cached"] for r in cold)
+
+        # Phase 2 — cached: CONCURRENCY concurrent queries over the
+        # same cells, all absorbed by the LRU.
+        t0 = time.perf_counter()
+        hot = await asyncio.gather(
+            *(ask(bodies[i % len(bodies)]) for i in range(CONCURRENCY)))
+        hot_elapsed = time.perf_counter() - t0
+        assert all(r["cached"] for r in hot)
+
+        cold_walls = sorted(r["dispatch_wall_s"] for r in cold)
+        hit_walls = sorted(r["wall_s"] for r in hot)
+        return {
+            "cells": len(bodies),
+            "concurrency": CONCURRENCY,
+            "cold_qps": len(cold) / cold_elapsed,
+            "cached_qps": len(hot) / hot_elapsed,
+            "cold_dispatch_median_s": cold_walls[len(cold_walls) // 2],
+            "cold_dispatch_min_s": cold_walls[0],
+            "cache_hit_median_s": hit_walls[len(hit_walls) // 2],
+            "cache_hit_p99_s": hit_walls[int(len(hit_walls) * 0.99)],
+            "cache_stats": service.cache.stats(),
+        }
+    finally:
+        await service.begin_drain()
+
+
+def test_cached_whatif_100x_faster_than_cold(benchmark):
+    results = benchmark.pedantic(lambda: asyncio.run(_drive()),
+                                 rounds=1, iterations=1)
+    speedup = (results["cold_dispatch_min_s"]
+               / results["cache_hit_median_s"])
+    results["speedup_min_cold_over_median_hit"] = speedup
+
+    header(f"Service what-if throughput — {results['cells']} cells, "
+           f"{results['concurrency']} concurrent cached queries")
+    table([{
+        "cold qps": results["cold_qps"],
+        "cached qps": results["cached_qps"],
+        "cold median (s)": results["cold_dispatch_median_s"],
+        "hit median (s)": results["cache_hit_median_s"],
+        "speedup": f"{speedup:.0f}x",
+    }])
+    path = save_json("service_throughput", results)
+    emit(f"results saved to {path}")
+
+    assert results["cache_stats"]["hits"] >= CONCURRENCY
+    assert speedup >= 100.0, (
+        f"cached answers only {speedup:.1f}x faster than cold dispatch")
+    assert results["cached_qps"] > results["cold_qps"]

@@ -1147,6 +1147,160 @@ def cmd_lifecycle(argv: List[str]) -> int:
     return slo_verdict(rollup, args.fail_under)
 
 
+def cmd_serve(argv: List[str]) -> int:
+    """``repro serve`` — the always-on control-plane service.
+
+    Binds the HTTP front end (``/metrics``, ``/state``, ``/decisions``,
+    ``POST /whatif``), starts the configured telemetry source feeding
+    the streaming arbiter, and runs until SIGTERM/SIGINT, then drains
+    gracefully (in-flight queries finish, queued ones get 503) and
+    exits 0.  ``--probe PATH`` instead sends one GET to an already
+    running instance and prints the body (exit 1 on a non-200).
+    """
+    import asyncio
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Long-running control plane: streaming telemetry in, "
+                    "controller decisions and cached what-if answers out.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8351,
+                        help="HTTP port (0 = ephemeral; see --port-file)")
+    parser.add_argument("--port-file", default=None, metavar="PATH",
+                        help="write the bound HTTP port here once listening "
+                             "(scripts/CI pair this with --port 0)")
+    parser.add_argument("--probe", default=None, metavar="/PATH",
+                        help="client mode: GET this path on --host:--port, "
+                             "print the body, exit")
+    parser.add_argument("--queue-limit", type=int, default=64,
+                        help="pending what-if queries before 429")
+    parser.add_argument("--max-inflight", type=int, default=8,
+                        help="queries dispatched to workers concurrently")
+    parser.add_argument("--query-timeout", type=float, default=60.0,
+                        metavar="S", help="per-query server-side deadline")
+    parser.add_argument("--drain-timeout", type=float, default=30.0,
+                        metavar="S",
+                        help="SIGTERM: in-flight queries get this long")
+    parser.add_argument("--executor", default="process",
+                        choices=["process", "thread", "inline"])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--backend", default="fastpath",
+                        choices=["packet", "fastpath", "hybrid"],
+                        help="default what-if execution backend")
+    parser.add_argument("--cache-size", type=int, default=1024)
+    parser.add_argument("--loss-sigfigs", type=int, default=3,
+                        help="cache-key loss-rate quantization (0 = off)")
+    parser.add_argument("--telemetry", default="synthetic",
+                        choices=["synthetic", "file", "tcp", "none"])
+    parser.add_argument("--telemetry-file", default=None, metavar="PATH",
+                        help="JSONL counter records (--telemetry file)")
+    parser.add_argument("--follow", action="store_true",
+                        help="tail --telemetry-file for appends")
+    parser.add_argument("--ingest-port", type=int, default=0,
+                        help="TCP ingest listener (--telemetry tcp)")
+    parser.add_argument("--synthetic-days", type=float, default=30.0,
+                        help="simulated days the synthetic trace covers")
+    parser.add_argument("--synthetic-records", type=int, default=0,
+                        help="stop the synthetic feed after N records "
+                             "(0 = whole trace)")
+    parser.add_argument("--interval", type=float, default=0.0, metavar="S",
+                        help="real-time pacing between synthetic records")
+    parser.add_argument("--window-frames", type=int, default=10_000_000,
+                        help="loss-estimation window (frames)")
+    parser.add_argument("--onset-threshold", type=float, default=1e-6)
+    parser.add_argument("--clear-hysteresis", type=float, default=0.1)
+    parser.add_argument("--policy", default="incremental",
+                        help="fleet arbitration policy "
+                             "(incremental | greedy-worst)")
+    parser.add_argument("--activation-budget", type=int, default=64)
+    parser.add_argument("--fleet-pods", type=int, default=4)
+    parser.add_argument("--fleet-tors", type=int, default=8)
+    parser.add_argument("--fleet-fabrics", type=int, default=4)
+    parser.add_argument("--fleet-spines", type=int, default=8)
+    parser.add_argument("--mttf-hours", type=float, default=1_500.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--snapshot-out", default=None, metavar="PATH",
+                        help="write a final state snapshot at drain")
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    global _JSON_MODE
+    _JSON_MODE = args.json
+
+    if args.probe:
+        from .service.http import request as http_request
+
+        async def probe() -> int:
+            status, _, body = await http_request(
+                args.host, args.port, "GET", args.probe)
+            sys.stdout.write(body.decode(errors="replace"))
+            return 0 if status == 200 else 1
+
+        return asyncio.run(probe())
+
+    from .fleet.controller import ControllerConfig
+    from .fleet.topology import FleetSpec
+    from .service import ControlPlaneService, ServiceConfig
+
+    try:
+        config = ServiceConfig(
+            host=args.host, port=args.port,
+            queue_limit=args.queue_limit, max_inflight=args.max_inflight,
+            query_timeout_s=args.query_timeout,
+            drain_timeout_s=args.drain_timeout,
+            executor=args.executor, workers=args.workers,
+            backend=args.backend, cache_size=args.cache_size,
+            loss_sigfigs=args.loss_sigfigs,
+            telemetry=args.telemetry, telemetry_file=args.telemetry_file,
+            follow=args.follow, ingest_port=args.ingest_port,
+            synthetic_days=args.synthetic_days,
+            synthetic_records=args.synthetic_records,
+            interval_s=args.interval,
+            window_frames=args.window_frames,
+            onset_threshold=args.onset_threshold,
+            clear_hysteresis=args.clear_hysteresis,
+            policy=args.policy, seed=args.seed,
+            fleet=FleetSpec(
+                n_pods=args.fleet_pods, tors_per_pod=args.fleet_tors,
+                fabrics_per_pod=args.fleet_fabrics,
+                spine_uplinks=args.fleet_spines,
+                mttf_hours=args.mttf_hours,
+            ),
+            controller=ControllerConfig(
+                activation_budget=args.activation_budget),
+            snapshot_path=args.snapshot_out,
+        )
+    except (TypeError, ValueError) as exc:
+        _usage_error(str(exc))
+
+    async def serve_forever() -> int:
+        service = ControlPlaneService(config)
+        await service.start()
+        if args.port_file:
+            with open(args.port_file, "w") as handle:
+                handle.write(f"{service.port}\n")
+        if not _JSON_MODE:
+            _print(f"serving on http://{args.host}:{service.port} "
+                   f"(telemetry={config.telemetry}, "
+                   f"backend={config.backend}, "
+                   f"{config.fleet.n_links} links); SIGTERM drains")
+            if service.ingest_port is not None:
+                _print(f"TCP ingest on {args.host}:{service.ingest_port}")
+        loop = asyncio.get_running_loop()
+        import signal as _signal
+
+        for signum in (_signal.SIGTERM, _signal.SIGINT):
+            loop.add_signal_handler(signum, service.request_shutdown)
+        await service.wait_shutdown()
+        await service.begin_drain()
+        if not _JSON_MODE:
+            _print("drained; exiting 0")
+        return 0
+
+    return asyncio.run(serve_forever())
+
+
 COMMANDS = {
     "fig01": (cmd_fig01, "PLR vs optical attenuation per transceiver"),
     "fig02": (cmd_fig02, "flow-size CDFs of six datacenter workloads"),
@@ -1190,6 +1344,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "lifecycle":
         # And generate/replay/report for month-scale SLO replay.
         return cmd_lifecycle(argv[1:])
+    if argv and argv[0] == "serve":
+        # The long-running control-plane service (own flag grammar).
+        return cmd_serve(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Run LinkGuardian reproduction experiments.",
@@ -1308,6 +1465,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         rows.append({"experiment": "lifecycle",
                      "description": "month-scale fleet traces, repair loop, "
                                     "SLO replay ('repro lifecycle -h')"})
+        rows.append({"experiment": "serve",
+                     "description": "always-on control plane: streaming "
+                                    "telemetry, /metrics, cached what-if "
+                                    "API ('repro serve -h')"})
         _emit(rows)
         return 0
     command, _ = COMMANDS[args.experiment]

@@ -23,7 +23,7 @@ the event trace under the ``fleet`` category.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..corropt.simulation import (
@@ -342,6 +342,53 @@ class FleetController:
             key=lambda item: (-self._episodes[item[1]].loss_rate, item[0]),
         )
         return [(index, self._episodes[index]) for _, index in ordered]
+
+    # -- streaming arbitration (the always-on service) ---------------------------
+    #
+    # ``run`` below replays a complete, pre-generated timeline.  The
+    # control-plane service instead discovers onsets and clears one at a
+    # time from live telemetry, so episodes arrive with an unknown clear
+    # time (+inf) that is filled in when the link recovers.  Both paths
+    # share the same policy hooks and state transitions, so a streamed
+    # sequence of onset/clear pairs reaches the same verdicts as a batch
+    # replay of the equivalent timeline.
+
+    def stream_onset(self, episode: CorruptionEpisode) -> int:
+        """Arbitrate one live onset; returns its episode index.
+
+        The episode's ``clear_s`` is typically ``inf`` — pass the index
+        to :meth:`stream_clear` when telemetry shows the link healthy.
+        """
+        index = len(self._episodes)
+        self._episodes.append(episode)
+        link = self.topology.link(episode.link_id)
+        link.corrupting = True
+        link.loss_rate = episode.loss_rate
+        self.policy.on_onset(self, link, episode, index)
+        return index
+
+    def stream_clear(self, index: int, clear_s: float) -> CorruptionEpisode:
+        """Close a streamed episode at its observed clear time."""
+        episode = replace(self._episodes[index], clear_s=clear_s)
+        self._episodes[index] = episode
+        link = self.topology.link(episode.link_id)
+        self._clear(link, episode, index)
+        self.policy.on_clear(self, link, episode, index)
+        return episode
+
+    @property
+    def episodes(self) -> List[CorruptionEpisode]:
+        """Episodes seen so far (streamed or replayed), index-aligned
+        with ``outcome.segments``."""
+        return self._episodes
+
+    def lg_active_links(self) -> List[int]:
+        """Links currently carrying traffic under LinkGuardian."""
+        return sorted(self._active)
+
+    def exposed_links(self) -> List[int]:
+        """Links corrupting unprotected (blocked from both remedies)."""
+        return sorted(self._exposed)
 
     # -- the arbitration loop ----------------------------------------------------
 

@@ -1,5 +1,5 @@
 """Control-plane link monitoring (corruptd)."""
 
-from .corruptd import Corruptd, CorruptionNotice, PubSubBus
+from .corruptd import Corruptd, CorruptionNotice, LossWindow, PubSubBus
 
-__all__ = ["Corruptd", "CorruptionNotice", "PubSubBus"]
+__all__ = ["Corruptd", "CorruptionNotice", "LossWindow", "PubSubBus"]

@@ -24,7 +24,49 @@ from ..linkguardian.protocol import ProtectedLink
 from ..obs.trace import NULL_TRACER
 from ..units import SEC
 
-__all__ = ["PubSubBus", "Corruptd", "CorruptionNotice"]
+__all__ = ["PubSubBus", "Corruptd", "CorruptionNotice", "LossWindow"]
+
+
+class LossWindow:
+    """Moving-window loss-rate estimate over RX frame counters.
+
+    The corruptd windowing logic, factored out so anything that sees a
+    stream of ``(framesRxAll, framesRxOk)`` counter snapshots — the
+    in-sim daemon below, or the control-plane service ingesting
+    telemetry records — estimates loss the same way: over (up to) the
+    last ``window_frames`` frames between retained snapshots.
+    """
+
+    def __init__(self, window_frames: int = 100_000_000) -> None:
+        self.window_frames = int(window_frames)
+        self._snapshots: deque = deque()  # (rx_all, rx_ok)
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def observe(self, rx_all: int, rx_ok: int) -> None:
+        """Record one counter snapshot; old ones slide out of the window."""
+        self._snapshots.append((rx_all, rx_ok))
+        while len(self._snapshots) > 2 and (
+            self._snapshots[-1][0] - self._snapshots[1][0] >= self.window_frames
+        ):
+            self._snapshots.popleft()
+
+    def loss_rate(self) -> Optional[float]:
+        """Loss rate over (up to) the last ``window_frames`` frames."""
+        if len(self._snapshots) < 2:
+            return None
+        newest_all, newest_ok = self._snapshots[-1]
+        base_all, base_ok = self._snapshots[0]
+        for past_all, past_ok in self._snapshots:
+            if newest_all - past_all <= self.window_frames:
+                base_all, base_ok = past_all, past_ok
+                break
+        frames = newest_all - base_all
+        if frames == 0:
+            return None
+        ok = newest_ok - base_ok
+        return 1.0 - ok / frames
 
 
 class PubSubBus:
@@ -148,7 +190,7 @@ class Corruptd:
         self.deactivation = deactivation
         self.channel = f"corruptd:{plink.sender_switch.name}"
         self.notices: List[CorruptionNotice] = []
-        self._snapshots: deque = deque()  # (rx_all, rx_ok)
+        self._window = LossWindow(self.window_frames)
         self._notified = False
         self._running = False
         self.polls = 0
@@ -180,30 +222,14 @@ class Corruptd:
 
     def window_loss_rate(self) -> Optional[float]:
         """Loss rate over (up to) the last ``window_frames`` frames."""
-        if len(self._snapshots) < 2:
-            return None
-        newest_all, newest_ok = self._snapshots[-1]
-        base_all, base_ok = self._snapshots[0]
-        for past_all, past_ok in self._snapshots:
-            if newest_all - past_all <= self.window_frames:
-                base_all, base_ok = past_all, past_ok
-                break
-        frames = newest_all - base_all
-        if frames == 0:
-            return None
-        ok = newest_ok - base_ok
-        return 1.0 - ok / frames
+        return self._window.loss_rate()
 
     def _poll(self) -> None:
         if not self._running:
             return
         self.polls += 1
         counters = self.plink.forward_link.rx_counters
-        self._snapshots.append((counters.frames_rx_all, counters.frames_rx_ok))
-        while len(self._snapshots) > 2 and (
-            self._snapshots[-1][0] - self._snapshots[1][0] >= self.window_frames
-        ):
-            self._snapshots.popleft()
+        self._window.observe(counters.frames_rx_all, counters.frames_rx_ok)
         loss = self.window_loss_rate()
         if loss is not None:
             if loss >= self.activation_threshold and not self._notified:

@@ -31,6 +31,7 @@ __all__ = [
     "events_to_jsonl", "write_jsonl",
     "write_metrics_json", "write_metrics_prometheus",
     "write_timeline_json",
+    "prometheus_escape_label", "prometheus_line", "prometheus_text",
 ]
 
 #: Stable thread-track ids per category so Perfetto groups related events.
@@ -203,6 +204,52 @@ def write_metrics_json(path: str, registry: MetricsRegistry) -> str:
         json.dump(_json_safe(registry.snapshot()), handle, indent=2,
                   sort_keys=True, allow_nan=False)
     return path
+
+
+def prometheus_escape_label(value) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    The spec's label-value escaping: backslash -> ``\\\\``, double-quote
+    -> ``\\"``, line feed -> ``\\n``.  Without this, a label value
+    containing any of the three (link names, file paths, operator-typed
+    strings) splits or corrupts the sample line and the whole scrape
+    fails to parse.
+    """
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def prometheus_line(family: str, labels: Optional[dict], value) -> str:
+    """One exposition sample line, label values escaped.
+
+    ``family`` must already be a valid metric name (callers sanitize);
+    labels render in the given dict order.  Non-finite values are the
+    caller's problem — Prometheus accepts ``NaN``/``+Inf`` spelled that
+    way, but the registry convention is to skip them.
+    """
+    if labels:
+        rendered = ",".join(
+            f'{key}="{prometheus_escape_label(val)}"'
+            for key, val in labels.items()
+        )
+        return f"{family}{{{rendered}}} {value}"
+    return f"{family} {value}"
+
+
+def prometheus_text(registry: MetricsRegistry,
+                    extra_lines: Optional[List[str]] = None) -> str:
+    """Full exposition document: the registry dump plus labeled extras.
+
+    ``extra_lines`` lets a caller (the control-plane service) append
+    label-carrying series built with :func:`prometheus_line` after the
+    registry's flat families; the result stays one scrape-valid body.
+    """
+    body = registry.prometheus_text()
+    if extra_lines:
+        body += "\n".join(extra_lines) + "\n"
+    return body
 
 
 def write_metrics_prometheus(path: str, registry: MetricsRegistry) -> str:

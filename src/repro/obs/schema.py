@@ -9,10 +9,12 @@ means the artifact is well-formed.
 from __future__ import annotations
 
 import json
+import re
 from typing import Any, Dict, List
 
 __all__ = [
     "validate_chrome_trace", "validate_events_jsonl", "validate_timeline",
+    "validate_prometheus",
 ]
 
 _KNOWN_PHASES = {"i", "B", "E", "C", "X", "s", "t", "f"}
@@ -176,4 +178,45 @@ def validate_timeline(data: Any) -> List[str]:
             if run in prev and ts_ns < prev[run]:
                 problems.append(f"ts_ns[{index}]: time reversed within run")
             prev[run] = ts_ns
+    return problems
+
+
+# Prometheus text exposition grammar, per the format spec: a metric name,
+# an optional {label="value",...} set with \\ \" \n escaping inside the
+# quotes, and a value Go's ParseFloat accepts (incl. NaN/+Inf/-Inf).
+_PROM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_PROM_LABEL_VALUE = r'"(?:[^"\\\n]|\\\\|\\"|\\n)*"'
+_PROM_LABELS = (r"\{(?:" + _PROM_NAME + r"=" + _PROM_LABEL_VALUE + r")"
+                r"(?:," + _PROM_NAME + r"=" + _PROM_LABEL_VALUE + r")*,?\}")
+_PROM_VALUE = r"[+-]?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf|NaN)"
+_PROM_SAMPLE = re.compile(
+    r"^(" + _PROM_NAME + r")(?:" + _PROM_LABELS + r")?"
+    r"\s+" + _PROM_VALUE + r"(?:\s+[+-]?[0-9]+)?$")
+_PROM_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def validate_prometheus(text: str) -> List[str]:
+    """Validate a text-exposition body (what ``/metrics`` serves).
+
+    Line-grammar checks only — enough to catch the failure modes the
+    registry can actually produce: unescaped label values, non-numeric
+    samples, malformed TYPE comments, a body missing its trailing
+    newline.
+    """
+    problems: List[str] = []
+    if text and not text.endswith("\n"):
+        problems.append("body: missing trailing newline")
+    for index, line in enumerate(text.splitlines()):
+        where = f"line {index + 1}"
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in _PROM_TYPES:
+                    problems.append(f"{where}: malformed TYPE comment")
+            # HELP and free comments pass through unchecked.
+            continue
+        if not _PROM_SAMPLE.match(line):
+            problems.append(f"{where}: malformed sample: {line[:80]!r}")
     return problems

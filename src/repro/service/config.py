@@ -1,0 +1,149 @@
+"""Configuration of the always-on control-plane service.
+
+One frozen dataclass carries every knob ``repro serve`` exposes, in four
+groups: the HTTP front end (bind address, admission limits), the query
+path (worker pool, default backend, cache sizing), the telemetry
+ingestion side (source kind, synthetic-trace shape, loss thresholds),
+and the fleet the service arbitrates over (a full
+:class:`~repro.fleet.topology.FleetSpec` plus controller policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional
+
+from ..fleet.controller import POLICIES, ControllerConfig
+from ..fleet.topology import FleetSpec
+
+__all__ = ["ServiceConfig", "TELEMETRY_KINDS", "EXECUTOR_KINDS"]
+
+#: where telemetry records come from
+TELEMETRY_KINDS = ("synthetic", "file", "tcp", "none")
+
+#: how what-if cells are executed ("inline" runs on the event loop —
+#: tests and debugging only, it blocks the service during a query)
+EXECUTOR_KINDS = ("process", "thread", "inline")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything that determines one service instance's behaviour."""
+
+    # -- HTTP front end -------------------------------------------------------
+    host: str = "127.0.0.1"
+    port: int = 8351            # 0 = ephemeral (the bound port is published)
+    #: pending what-if queries admitted beyond the in-flight set; the
+    #: queue filling up is the 429 admission boundary
+    queue_limit: int = 64
+    #: concurrent queries dispatched to the worker pool
+    max_inflight: int = 8
+    #: per-query server-side deadline; expiry answers 503 rather than
+    #: holding the connection forever
+    query_timeout_s: float = 60.0
+    #: drain deadline: in-flight queries get this long after SIGTERM
+    drain_timeout_s: float = 30.0
+
+    # -- query path -----------------------------------------------------------
+    executor: str = "process"
+    workers: int = 2
+    #: default execution backend for what-if cells (a query may override)
+    backend: str = "fastpath"
+    #: what-if result cache entries (LRU beyond this)
+    cache_size: int = 1024
+    #: significant figures loss rates are quantized to when building
+    #: cache keys — the "cell grid" that makes near-duplicate queries
+    #: collide onto one entry (0 disables quantization)
+    loss_sigfigs: int = 3
+
+    # -- telemetry ingestion --------------------------------------------------
+    telemetry: str = "synthetic"
+    #: JSONL file to tail (telemetry="file")
+    telemetry_file: Optional[str] = None
+    #: keep tailing the file for appends instead of stopping at EOF
+    follow: bool = False
+    #: TCP ingest listener port (telemetry="tcp"; 0 = ephemeral)
+    ingest_port: int = 0
+    #: bounded ingest queue; a full queue backpressures the source and
+    #: its depth is the exported ingest-lag gauge
+    ingest_queue: int = 4096
+    #: synthetic source: simulated fleet days the generated trace covers
+    synthetic_days: float = 30.0
+    #: synthetic source: stop after this many records (0 = whole trace)
+    synthetic_records: int = 0
+    #: synthetic source: simulated seconds between counter snapshots
+    tick_s: float = 60.0
+    #: synthetic source: frames a busy link carries per tick
+    frames_per_tick: int = 2_000_000
+    #: real-time pacing between synthetic records (0 = flat out)
+    interval_s: float = 0.0
+    #: window of frames loss rates are estimated over (corruptd-style)
+    window_frames: int = 10_000_000
+    #: loss rate at which a link is declared corrupting
+    onset_threshold: float = 1e-6
+    #: hysteresis: declared clear only below onset_threshold * this
+    clear_hysteresis: float = 0.1
+
+    # -- fleet state ----------------------------------------------------------
+    fleet: FleetSpec = field(default_factory=FleetSpec)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    policy: str = "incremental"
+    seed: int = 1
+
+    # -- lifecycle ------------------------------------------------------------
+    #: final state snapshot written on graceful shutdown (None = skip)
+    snapshot_path: Optional[str] = None
+    #: recent controller decisions retained for GET /decisions
+    decision_log: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.telemetry not in TELEMETRY_KINDS:
+            raise ValueError(
+                f"unknown telemetry {self.telemetry!r}; "
+                f"known: {', '.join(TELEMETRY_KINDS)}")
+        if self.executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; "
+                f"known: {', '.join(EXECUTOR_KINDS)}")
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; "
+                f"known: {', '.join(sorted(POLICIES))}")
+        if self.telemetry == "file" and not self.telemetry_file:
+            raise ValueError("telemetry='file' needs telemetry_file")
+        if self.queue_limit < 1 or self.max_inflight < 1:
+            raise ValueError("queue_limit and max_inflight must be >= 1")
+        if self.workers < 1 and self.executor != "inline":
+            raise ValueError("workers must be >= 1")
+        if self.cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        if not 0.0 < self.onset_threshold < 1.0:
+            raise ValueError("onset_threshold must be in (0, 1)")
+        if not 0.0 < self.clear_hysteresis <= 1.0:
+            raise ValueError("clear_hysteresis must be in (0, 1]")
+        if self.tick_s <= 0 or self.frames_per_tick < 1:
+            raise ValueError("tick_s and frames_per_tick must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["fleet"] = self.fleet.to_dict()
+        out["controller"] = self.controller.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServiceConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ServiceConfig fields: {sorted(unknown)}")
+        data = dict(data)
+        if "fleet" in data:
+            data["fleet"] = FleetSpec.from_dict(data["fleet"])
+        if "controller" in data:
+            data["controller"] = ControllerConfig.from_dict(data["controller"])
+        return cls(**data)
+
+    def with_(self, **overrides: Any) -> "ServiceConfig":
+        from dataclasses import replace
+
+        return replace(self, **overrides)

@@ -1,0 +1,226 @@
+"""Streaming port-counter telemetry: records, parsing, and sources.
+
+The service's ingestion loop consumes a stream of *telemetry records* —
+one RX counter snapshot per line, the same ``framesRxAll``/``framesRxOk``
+pair corruptd polls in-sim::
+
+    {"t": 120.0, "link": 17, "rx_all": 2000000, "rx_ok": 1999978}
+
+Three sources produce that stream:
+
+* :func:`file_source` — read (and optionally tail) a JSONL file;
+* :func:`stream_source` — decode lines from an asyncio reader (the
+  service's TCP ingest listener hands each client connection here);
+* :class:`SyntheticTelemetry` — a deterministic generator driven by a
+  :mod:`repro.lifecycle` failure trace: it applies the repair loop to
+  get per-link corrupting intervals, then walks simulated time in fixed
+  ticks emitting counter snapshots whose loss reflects each link's
+  current state.  This is the demo/test source — the fleet's month of
+  failures replayed as a live counter feed.
+
+All sources are async iterators of :class:`TelemetryRecord`; malformed
+lines are counted and skipped, never fatal to the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import AsyncIterator, Dict, Iterator, List, Tuple
+
+from ..lifecycle.repair import apply_repair, repair_policy
+from ..lifecycle.traces import TraceSpec, generate_trace
+
+__all__ = [
+    "TelemetryRecord", "TelemetryError", "parse_record",
+    "file_source", "stream_source", "SyntheticTelemetry",
+]
+
+
+class TelemetryError(ValueError):
+    """A record line that cannot be parsed into a counter snapshot."""
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    """One port-counter snapshot for one link."""
+
+    time_s: float
+    link_id: int
+    rx_all: int
+    rx_ok: int
+
+    def to_dict(self) -> dict:
+        return {"t": self.time_s, "link": self.link_id,
+                "rx_all": self.rx_all, "rx_ok": self.rx_ok}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+
+def parse_record(line: str) -> TelemetryRecord:
+    """Parse one JSONL telemetry line; :class:`TelemetryError` on junk."""
+    try:
+        data = json.loads(line)
+    except ValueError as exc:
+        raise TelemetryError(f"not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise TelemetryError("record is not an object")
+    missing = {"t", "link", "rx_all", "rx_ok"} - set(data)
+    if missing:
+        raise TelemetryError(f"record missing {sorted(missing)}")
+    try:
+        record = TelemetryRecord(
+            time_s=float(data["t"]),
+            link_id=int(data["link"]),
+            rx_all=int(data["rx_all"]),
+            rx_ok=int(data["rx_ok"]),
+        )
+    except (TypeError, ValueError) as exc:
+        raise TelemetryError(f"non-numeric counter field: {exc}") from None
+    if record.link_id < 0 or record.rx_all < 0 or record.rx_ok < 0:
+        raise TelemetryError("counters and link id must be non-negative")
+    if record.rx_ok > record.rx_all:
+        raise TelemetryError("rx_ok exceeds rx_all")
+    return record
+
+
+async def file_source(path: str, follow: bool = False,
+                      poll_s: float = 0.05) -> AsyncIterator[str]:
+    """Yield lines from a JSONL file; with ``follow``, tail for appends.
+
+    A tailing source never terminates on its own — the ingest task is
+    cancelled at drain.  Without ``follow``, iteration stops at EOF
+    (replay-a-capture mode).
+    """
+    with open(path) as handle:
+        while True:
+            line = handle.readline()
+            if line:
+                if line.endswith("\n"):
+                    yield line
+                    continue
+                # A partial last line: only mid-append under follow.
+                if not follow:
+                    yield line
+                    return
+                handle.seek(handle.tell() - len(line))
+            elif not follow:
+                return
+            await asyncio.sleep(poll_s)
+
+
+async def stream_source(reader: asyncio.StreamReader) -> AsyncIterator[str]:
+    """Yield lines from one ingest connection until the peer closes."""
+    while True:
+        line = await reader.readline()
+        if not line:
+            return
+        yield line.decode("utf-8", errors="replace")
+
+
+class SyntheticTelemetry:
+    """Deterministic counter feed regenerated from a lifecycle trace.
+
+    The trace's failure onsets plus the repair policy's clear times give
+    each link a set of corrupting intervals; the generator then walks
+    simulated time in ``tick_s`` steps and emits, per tick, one counter
+    snapshot for every link that is *interesting* at that instant —
+    currently corrupting, or inside the warm-up/cool-down tick right
+    around a transition — plus a small rotating sample of healthy links
+    so the estimator sees clean baselines too.  Counters are cumulative
+    per link; corrupted frames are the deterministic expectation
+    ``round(frames * loss)`` so the window estimator recovers the
+    trace's loss rate exactly (no sampling noise to flake tests on).
+    """
+
+    def __init__(self, spec: TraceSpec, repair: str = "corropt",
+                 tick_s: float = 60.0, frames_per_tick: int = 2_000_000,
+                 healthy_per_tick: int = 2, limit: int = 0) -> None:
+        self.spec = spec
+        self.tick_s = float(tick_s)
+        self.frames_per_tick = int(frames_per_tick)
+        self.healthy_per_tick = int(healthy_per_tick)
+        self.limit = int(limit)
+        trace = generate_trace(spec)
+        episodes, _ = apply_repair(trace, repair_policy(repair))
+        #: per-link corrupting intervals [(onset_s, clear_s, loss_rate)]
+        self.intervals: Dict[int, List[Tuple[float, float, float]]] = {}
+        for repaired in episodes:
+            episode = repaired.episode
+            self.intervals.setdefault(episode.link_id, []).append(
+                (episode.onset_s, episode.clear_s, episode.loss_rate))
+
+    def _loss_at(self, link_id: int, time_s: float) -> float:
+        for onset_s, clear_s, loss_rate in self.intervals.get(link_id, ()):
+            if onset_s <= time_s < clear_s:
+                return loss_rate
+        return 0.0
+
+    def _active_near(self, time_s: float) -> List[int]:
+        """Links corrupting at ``time_s`` or transitioning within a tick."""
+        out = []
+        for link_id, spans in self.intervals.items():
+            for onset_s, clear_s, _ in spans:
+                if onset_s - self.tick_s <= time_s < clear_s + self.tick_s:
+                    out.append(link_id)
+                    break
+        return sorted(out)
+
+    def records(self) -> Iterator[TelemetryRecord]:
+        """The full deterministic record sequence, oldest first."""
+        n_links = self.spec.fleet.n_links
+        counters: Dict[int, Tuple[int, int]] = {}
+        emitted = 0
+        tick = 1
+        duration_s = self.spec.duration_s
+        while tick * self.tick_s <= duration_s:
+            time_s = tick * self.tick_s
+            watched = self._active_near(time_s)
+            # Rotate a few healthy links through so clean estimates and
+            # per-link window state don't exist only for bad links.
+            for offset in range(self.healthy_per_tick):
+                candidate = (tick * self.healthy_per_tick + offset) % n_links
+                if candidate not in watched:
+                    watched.append(candidate)
+            for link_id in watched:
+                loss = self._loss_at(link_id, time_s)
+                rx_all, rx_ok = counters.get(link_id, (0, 0))
+                frames = self.frames_per_tick
+                good = frames - int(round(frames * loss))
+                rx_all += frames
+                rx_ok += good
+                counters[link_id] = (rx_all, rx_ok)
+                yield TelemetryRecord(time_s, link_id, rx_all, rx_ok)
+                emitted += 1
+                if self.limit and emitted >= self.limit:
+                    return
+            tick += 1
+
+    async def source(self, interval_s: float = 0.0,
+                     yield_every: int = 64) -> AsyncIterator[TelemetryRecord]:
+        """The record sequence as an async iterator.
+
+        ``interval_s`` paces emission in real time (demos); at 0 the
+        loop still yields to the event loop every ``yield_every``
+        records so ingestion never starves the HTTP front end.
+        """
+        for count, record in enumerate(self.records(), start=1):
+            yield record
+            if interval_s > 0:
+                await asyncio.sleep(interval_s)
+            elif count % yield_every == 0:
+                await asyncio.sleep(0)
+
+
+def synthetic_from_config(config) -> SyntheticTelemetry:
+    """Build the demo source a :class:`ServiceConfig` describes."""
+    spec = TraceSpec(fleet=config.fleet, duration_days=config.synthetic_days,
+                     seed=config.seed)
+    return SyntheticTelemetry(
+        spec,
+        tick_s=config.tick_s,
+        frames_per_tick=config.frames_per_tick,
+        limit=config.synthetic_records,
+    )

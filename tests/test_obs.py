@@ -452,3 +452,71 @@ class TestDisabledOverhead:
         # we allow generous jitter headroom while still catching a
         # pathological always-on instrumentation path.
         assert disabled < baseline * 1.5
+
+
+class TestPrometheusEscaping:
+    """Regression tests for label-value escaping in the text exposition.
+
+    The format requires ``\\`` -> ``\\\\``, ``"`` -> ``\\"`` and LF ->
+    ``\\n`` inside label values; an unescaped value splits the sample
+    line and the whole scrape fails to parse.
+    """
+
+    def test_backslash_quote_newline_escaped(self):
+        from repro.obs import prometheus_escape_label
+
+        assert prometheus_escape_label('plain') == 'plain'
+        assert prometheus_escape_label('a\\b') == 'a\\\\b'
+        assert prometheus_escape_label('say "hi"') == 'say \\"hi\\"'
+        assert prometheus_escape_label('two\nlines') == 'two\\nlines'
+        # Escape order matters: the backslash introduced for a quote
+        # must not be re-escaped.
+        assert prometheus_escape_label('\\"\n') == '\\\\\\"\\n'
+
+    def test_line_with_hostile_label_values_scrapes(self):
+        from repro.obs import prometheus_line
+        from repro.obs.schema import validate_prometheus
+
+        line = prometheus_line(
+            "svc_link_state",
+            {"link": 'po"d\\x\ny', "path": "C:\\counters\n"}, 2)
+        assert "\n" not in line
+        assert validate_prometheus(line + "\n") == []
+
+    def test_unescaped_values_rejected_by_validator(self):
+        from repro.obs.schema import validate_prometheus
+
+        assert validate_prometheus('m{l="a\nb"} 1\n')
+        assert validate_prometheus('m{l="a"b"} 1\n')
+        assert validate_prometheus('m{l="trailing\\"} 1\n')
+
+    def test_prometheus_line_without_labels(self):
+        from repro.obs import prometheus_line
+
+        assert prometheus_line("svc_up", None, 1) == "svc_up 1"
+        assert prometheus_line("svc_up", {}, 0.5) == "svc_up 0.5"
+
+    def test_registry_dump_plus_extra_lines_stays_scrape_valid(self):
+        from repro.obs import (
+            MetricsRegistry, prometheus_line, prometheus_text,
+        )
+        from repro.obs.schema import validate_prometheus
+
+        registry = MetricsRegistry()
+        registry.counter("svc.requests").inc(3)
+        registry.gauge("svc.depth").set(7)
+        registry.histogram("svc.latency").observe(1500)
+        extra = [prometheus_line("svc_link_loss",
+                                 {"link": 'bad"link\n17'}, 1e-5)]
+        body = prometheus_text(registry, extra_lines=extra)
+        assert body.endswith("\n")
+        assert validate_prometheus(body) == []
+        assert 'bad\\"link\\n17' in body
+
+    def test_non_string_label_values_coerced(self):
+        from repro.obs import prometheus_line
+        from repro.obs.schema import validate_prometheus
+
+        line = prometheus_line("svc_shard", {"pod": 3, "frac": 0.5}, 12)
+        assert line == 'svc_shard{pod="3",frac="0.5"} 12'
+        assert validate_prometheus(line + "\n") == []

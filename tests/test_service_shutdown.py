@@ -1,0 +1,211 @@
+"""Graceful-shutdown tests for the control-plane service.
+
+The drain contract (SIGTERM semantics): in-flight what-if queries run
+to completion and answer 200; queued-but-not-started queries are
+rejected with 503; new requests during the drain get 503; the final
+state snapshot is flushed; the process exits 0.  Tested twice — in
+process against :meth:`ControlPlaneService.begin_drain` for the precise
+queued-vs-in-flight split, and end-to-end against a real ``repro
+serve`` subprocess taking a real SIGTERM.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.fleet.topology import FleetSpec
+from repro.service import ControlPlaneService, ServiceConfig, load_snapshot
+from repro.service.http import request
+
+SMALL_FLEET = FleetSpec(n_pods=2, tors_per_pod=4, fabrics_per_pod=2,
+                        spine_uplinks=4, mttf_hours=300.0)
+
+
+class TestDrainSemantics:
+    def test_inflight_finish_queued_rejected(self):
+        """One query mid-dispatch, two parked in the queue: drain must
+        answer the first 200 and the parked ones 503."""
+
+        async def scenario():
+            service = ControlPlaneService(ServiceConfig(
+                port=0, fleet=SMALL_FLEET, telemetry="none",
+                executor="inline", queue_limit=4, max_inflight=1,
+                drain_timeout_s=10.0))
+            await service.start()
+            release = asyncio.Event()
+            started = asyncio.Event()
+
+            async def slow(spec_dict):
+                started.set()
+                await release.wait()
+                return {"cell_id": "slow", "spec": spec_dict,
+                        "backend": "fastpath", "metrics": {"ok": 1},
+                        "compute_wall_s": 0.0}
+
+            service._run_spec = slow
+
+            async def ask(i):
+                status, _, raw = await request(
+                    "127.0.0.1", service.port, "POST", "/whatif",
+                    {"loss_rate": (i + 1) * 1e-4, "n_trials": 10})
+                return status, json.loads(raw)
+
+            inflight = asyncio.create_task(ask(0))
+            await started.wait()
+            queued = [asyncio.create_task(ask(i)) for i in (1, 2)]
+            for _ in range(500):
+                if service._queue.qsize() == 2:
+                    break
+                await asyncio.sleep(0.01)
+            assert service._queue.qsize() == 2
+
+            drain = asyncio.create_task(service.begin_drain())
+            await asyncio.sleep(0.05)
+            # The drain is blocked on the in-flight query; release it.
+            release.set()
+            await drain
+            status, payload = await inflight
+            assert status == 200
+            assert payload["metrics"] == {"ok": 1}
+            for status, payload in await asyncio.gather(*queued):
+                assert status == 503
+                assert "error" in payload
+            assert service.drained.is_set()
+
+        asyncio.run(scenario())
+
+    def test_new_requests_rejected_while_draining(self):
+        async def scenario():
+            service = ControlPlaneService(ServiceConfig(
+                port=0, fleet=SMALL_FLEET, telemetry="none",
+                executor="inline"))
+            await service.start()
+            port = service.port
+            service.draining = True     # drain flag flips first
+            status, _, raw = await request(
+                "127.0.0.1", port, "POST", "/whatif",
+                {"loss_rate": 1e-3, "n_trials": 10})
+            assert status == 503
+            assert "draining" in json.loads(raw)["error"]
+            # Health and metrics stay available mid-drain.
+            status, _, raw = await request("127.0.0.1", port, "GET",
+                                           "/healthz")
+            assert status == 200
+            assert json.loads(raw)["status"] == "draining"
+            status, _, _ = await request("127.0.0.1", port, "GET", "/metrics")
+            assert status == 200
+            service.draining = False
+            await service.begin_drain()
+
+        asyncio.run(scenario())
+
+    def test_drain_is_idempotent_and_reentrant(self):
+        async def scenario():
+            service = ControlPlaneService(ServiceConfig(
+                port=0, fleet=SMALL_FLEET, telemetry="none",
+                executor="inline"))
+            await service.start()
+            await asyncio.gather(service.begin_drain(),
+                                 service.begin_drain())
+            await service.begin_drain()
+            assert service.drained.is_set()
+
+        asyncio.run(scenario())
+
+    def test_drain_timeout_bounds_stuck_inflight(self):
+        """A wedged worker must not hold the drain past its budget."""
+
+        async def scenario():
+            service = ControlPlaneService(ServiceConfig(
+                port=0, fleet=SMALL_FLEET, telemetry="none",
+                executor="inline", max_inflight=1, drain_timeout_s=0.2))
+            await service.start()
+            never = asyncio.Event()
+
+            async def wedged(spec_dict):
+                await never.wait()
+
+            service._run_spec = wedged
+            stuck = asyncio.create_task(request(
+                "127.0.0.1", service.port, "POST", "/whatif",
+                {"loss_rate": 1e-3, "n_trials": 10}))
+            for _ in range(500):
+                if service._inflight == 1:
+                    break
+                await asyncio.sleep(0.01)
+            started = time.monotonic()
+            await service.begin_drain()
+            assert time.monotonic() - started < 5.0
+            stuck.cancel()
+            try:
+                await stuck
+            except (asyncio.CancelledError, ConnectionError):
+                pass
+
+        asyncio.run(scenario())
+
+
+@pytest.mark.slow
+class TestSigtermSubprocess:
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        """Real process, real signal: ``repro serve`` under SIGTERM with
+        live queries answers them, writes its snapshot, and exits 0."""
+        port_file = tmp_path / "port"
+        snapshot = tmp_path / "final-state.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = ("src" + os.pathsep + env["PYTHONPATH"]
+                             if env.get("PYTHONPATH") else "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--port", "0", "--port-file", str(port_file),
+             "--telemetry", "synthetic", "--synthetic-days", "2",
+             "--synthetic-records", "200",
+             "--fleet-pods", "2", "--fleet-tors", "4",
+             "--fleet-fabrics", "2", "--fleet-spines", "4",
+             "--mttf-hours", "300",
+             "--executor", "thread", "--workers", "2",
+             "--snapshot-out", str(snapshot)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        try:
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if port_file.exists() and port_file.read_text().strip():
+                    break
+                assert proc.poll() is None, proc.stderr.read().decode()
+                time.sleep(0.05)
+            port = int(port_file.read_text())
+
+            async def drive():
+                status, _, raw = await request(
+                    "127.0.0.1", port, "POST", "/whatif",
+                    {"loss_rate": 1e-3, "kind": "fct", "n_trials": 100})
+                assert status == 200
+                first = json.loads(raw)
+                assert first["cached"] is False
+                status, _, raw = await request(
+                    "127.0.0.1", port, "POST", "/whatif",
+                    {"loss_rate": 1e-3, "kind": "fct", "n_trials": 100})
+                assert status == 200
+                assert json.loads(raw)["cached"] is True
+                status, _, _ = await request("127.0.0.1", port, "GET",
+                                             "/metrics")
+                assert status == 200
+
+            asyncio.run(drive())
+            proc.send_signal(signal.SIGTERM)
+            stdout, stderr = proc.communicate(timeout=60)
+            assert proc.returncode == 0, stderr.decode()
+            assert "drained" in stdout.decode()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        loaded = load_snapshot(str(snapshot))
+        assert loaded.version == 1
+        assert loaded.cache["hits"] == 1
