@@ -1,0 +1,286 @@
+"""BlameMonitor: voting verdicts driving corruptd's onset/clear signals.
+
+The monitor is the drop-in replacement for the port-counter path: where
+the service's :class:`~repro.service.arbiter.StreamingArbiter` folds
+counter snapshots into per-link :class:`LossWindow` estimates, the
+BlameMonitor folds **flow reports** into a sliding evidence window,
+re-runs the 007 vote at a fixed cadence, and drives the very same
+:meth:`FleetController.stream_onset` / :meth:`stream_clear` transitions
+— so the policy, capacity checks, budget accounting, and decision audit
+trail are byte-for-byte the machinery the oracle path uses.  The only
+difference an operator sees is the ``evidence`` label on each decision
+record: ``"voting"`` here, ``"port_counters"`` there.
+
+Onset: a link enters the blamed set with an inverted loss estimate at
+or above ``onset_threshold``.  Clear: an open link leaves the blamed
+set, or its estimate falls below ``onset_threshold *
+clear_hysteresis`` — mirroring the arbiter's hysteresis, with the
+extra lag that flagged flows take up to ``window_s`` to age out of the
+evidence window after the link actually heals.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..fleet.controller import ControllerConfig, FleetController
+from ..fleet.policies import fleet_policy
+from ..fleet.topology import CorruptionEpisode, FleetSpec, FleetTopology
+from ..obs.trace import NULL_TRACER
+from .evidence import FlowReport
+from .voting import BlameReport, tally_votes
+
+__all__ = [
+    "BlameMonitor", "decision_signature", "run_oracle", "run_voting",
+]
+
+
+class BlameMonitor:
+    """Drives a :class:`FleetController` from a live flow-report stream."""
+
+    #: evidence source stamped on every decision record
+    evidence = "voting"
+
+    def __init__(self, topology: FleetTopology, config: ControllerConfig,
+                 policy: str = "incremental", *,
+                 window_s: float = 60.0,
+                 eval_interval_s: Optional[float] = None,
+                 flow_packets: int = 100,
+                 min_votes: float = 2.0,
+                 onset_threshold: float = 1e-6,
+                 clear_hysteresis: float = 0.1,
+                 decision_log: int = 1024,
+                 mean_burst: float = 1.0,
+                 obs=None) -> None:
+        self.topology = topology
+        self.controller = FleetController(
+            topology, config, fleet_policy(policy), obs=obs)
+        self.window_s = float(window_s)
+        self.eval_interval_s = (float(eval_interval_s)
+                                if eval_interval_s is not None
+                                else self.window_s / 4.0)
+        if self.window_s <= 0 or self.eval_interval_s <= 0:
+            raise ValueError("window_s and eval_interval_s must be positive")
+        self.flow_packets = int(flow_packets)
+        self.min_votes = float(min_votes)
+        self.onset_threshold = float(onset_threshold)
+        self.clear_threshold = float(onset_threshold) * float(clear_hysteresis)
+        self.mean_burst = float(mean_burst)
+        self._reports: Deque[FlowReport] = deque()
+        self._open: Dict[int, int] = {}     # link_id -> episode index
+        self._estimates: Dict[int, float] = {}
+        self._next_eval_s: Optional[float] = None
+        self.last_verdict: Optional[BlameReport] = None
+        self.decisions: Deque[dict] = deque(maxlen=int(decision_log))
+        self._decision_cursor = 0
+        self.records_seen = 0
+        self.flagged_seen = 0
+        self.rejected = 0
+        self.onsets = 0
+        self.clears = 0
+        self.evaluations = 0
+        self.last_record_s = 0.0
+        self._tracer = obs.tracer if obs is not None else NULL_TRACER
+        self._counters = None
+        if obs is not None:
+            registry = obs.registry
+            self._counters = {
+                name: registry.counter(f"blame.monitor.{name}")
+                for name in ("reports", "flagged", "onsets", "clears",
+                             "evaluations")
+            }
+
+    # -- state access ----------------------------------------------------------
+
+    def corrupting_links(self) -> List[Tuple[int, float]]:
+        return sorted(
+            (link_id, self._estimates.get(link_id, 0.0))
+            for link_id in self._open)
+
+    def tracked_links(self) -> int:
+        links = set()
+        for report in self._reports:
+            links.update(report.path)
+        return len(links)
+
+    def shard_sizes(self) -> Dict[int, int]:
+        """Links under evidence in the current window, grouped by pod."""
+        by_pod: Dict[int, set] = {}
+        for report in self._reports:
+            for link_id in report.path:
+                pod = self.topology.link(link_id).pod
+                by_pod.setdefault(pod, set()).add(link_id)
+        return {pod: len(links) for pod, links in sorted(by_pod.items())}
+
+    # -- the streaming transition function -------------------------------------
+
+    def observe(self, report: FlowReport) -> List[dict]:
+        """Fold one flow report in; return any new decisions."""
+        if any(link >= self.topology.n_links or link < 0
+               for link in report.path):
+            self.rejected += 1
+            return []
+        self.records_seen += 1
+        if report.retx:
+            self.flagged_seen += 1
+        if self._counters is not None:
+            self._counters["reports"].inc()
+            if report.retx:
+                self._counters["flagged"].inc()
+        self.last_record_s = report.time_s
+        self._reports.append(report)
+        horizon = report.time_s - self.window_s
+        while self._reports and self._reports[0].time_s < horizon:
+            self._reports.popleft()
+        if self._next_eval_s is None:
+            self._next_eval_s = report.time_s + self.eval_interval_s
+        if report.time_s >= self._next_eval_s:
+            self._reevaluate(report.time_s)
+            self._next_eval_s = report.time_s + self.eval_interval_s
+        return self._drain_decisions()
+
+    def flush(self, time_s: Optional[float] = None) -> List[dict]:
+        """Force an immediate re-vote (end of a feed, tests, drain)."""
+        self._reevaluate(time_s if time_s is not None else self.last_record_s)
+        return self._drain_decisions()
+
+    def _reevaluate(self, now_s: float) -> None:
+        self.evaluations += 1
+        if self._counters is not None:
+            self._counters["evaluations"].inc()
+        verdict = tally_votes(
+            self._reports, flow_packets=self.flow_packets,
+            min_votes=self.min_votes)
+        self.last_verdict = verdict
+        blamed = set(verdict.blamed)
+        self._estimates = {
+            score.link_id: score.loss_estimate for score in verdict.ranked}
+        for link_id in verdict.blamed:
+            estimate = self._estimates.get(link_id, 0.0)
+            if link_id in self._open or estimate < self.onset_threshold:
+                continue
+            episode = CorruptionEpisode(
+                link_id=link_id, onset_s=now_s, clear_s=math.inf,
+                loss_rate=estimate, mean_burst=self.mean_burst)
+            self._open[link_id] = self.controller.stream_onset(episode)
+            self.onsets += 1
+            if self._counters is not None:
+                self._counters["onsets"].inc()
+            if self._tracer.enabled:
+                self._tracer.instant(int(now_s * 1e9), "blame", "onset", {
+                    "link": link_id, "loss_estimate": estimate,
+                    "votes": (verdict.score_for(link_id).votes
+                              if verdict.score_for(link_id) else 0.0),
+                })
+        for link_id in list(self._open):
+            estimate = self._estimates.get(link_id, 0.0)
+            if link_id in blamed and estimate >= self.clear_threshold:
+                continue
+            self.controller.stream_clear(self._open.pop(link_id), now_s)
+            self.clears += 1
+            if self._counters is not None:
+                self._counters["clears"].inc()
+            if self._tracer.enabled:
+                self._tracer.instant(int(now_s * 1e9), "blame", "clear", {
+                    "link": link_id, "loss_estimate": estimate,
+                })
+
+    def _drain_decisions(self) -> List[dict]:
+        """New controller decisions since the last drain, as dicts."""
+        fresh = []
+        log = self.controller.outcome.decisions
+        while self._decision_cursor < len(log):
+            decision = log[self._decision_cursor]
+            self._decision_cursor += 1
+            record = {
+                "time_s": decision.time_s,
+                "link_id": decision.link_id,
+                "action": decision.action,
+                "loss_rate": decision.loss_rate,
+                "evidence": self.evidence,
+            }
+            fresh.append(record)
+            self.decisions.append(record)
+        return fresh
+
+    # -- summaries -------------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        base = self.controller.outcome.counts()
+        base.update({
+            "records_seen": self.records_seen,
+            "records_rejected": self.rejected,
+            "reports_flagged": self.flagged_seen,
+            "onsets": self.onsets,
+            "clears": self.clears,
+            "evaluations": self.evaluations,
+            "tracked_links": self.tracked_links(),
+            "open_episodes": len(self._open),
+        })
+        return base
+
+    def state_dict(self) -> dict:
+        """A JSON-able snapshot of the arbitration state (GET /state)."""
+        return {
+            "evidence": self.evidence,
+            "counts": self.counts(),
+            "shard_sizes": self.shard_sizes(),
+            "corrupting": [
+                {"link_id": link_id, "loss_estimate": loss}
+                for link_id, loss in self.corrupting_links()
+            ],
+            "lg_active": self.controller.lg_active_links(),
+            "exposed": self.controller.exposed_links(),
+            "last_record_s": self.last_record_s,
+            "last_verdict": (self.last_verdict.to_dict()
+                             if self.last_verdict is not None else None),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Oracle comparison: does voting reach the counters' verdicts?
+# ---------------------------------------------------------------------------
+
+def decision_signature(decisions) -> List[Tuple[int, str]]:
+    """The policy-visible core of a decision stream: (link, action).
+
+    Times and loss rates are excluded on purpose — the voting path sees
+    onsets later (evidence must accumulate) and estimates loss rather
+    than measuring it, but *which link* got *which remedy* must match
+    the oracle within hysteresis.
+    """
+    out = []
+    for decision in decisions:
+        if isinstance(decision, dict):
+            link_id, action = decision["link_id"], decision["action"]
+        else:
+            link_id, action = decision.link_id, decision.action
+        if action != "clear":
+            out.append((link_id, action))
+    return out
+
+
+def run_oracle(fleet: FleetSpec, seed: int, config: ControllerConfig,
+               policy: str, episodes) -> List[Tuple[int, str]]:
+    """Batch-arbitrate ground-truth episodes on a fresh topology."""
+    topology = FleetTopology(fleet, seed=seed)
+    controller = FleetController(topology, config, fleet_policy(policy))
+    outcome = controller.run(list(episodes))
+    return decision_signature(outcome.decisions)
+
+
+def run_voting(fleet: FleetSpec, seed: int, config: ControllerConfig,
+               policy: str, reports, **monitor_kwargs) -> BlameMonitor:
+    """Feed a report stream through a fresh BlameMonitor; returns it.
+
+    A final :meth:`BlameMonitor.flush` runs so evidence at the tail of
+    the stream still reaches a verdict.
+    """
+    topology = FleetTopology(fleet, seed=seed)
+    monitor = BlameMonitor(topology, config, policy, **monitor_kwargs)
+    for report in reports:
+        monitor.observe(report)
+    monitor.flush()
+    return monitor

@@ -1,0 +1,97 @@
+"""ECMP path inference over the Clos fabric (007 §4: path discovery).
+
+007's voting scheme needs, per flow, the set of links the flow's
+packets crossed.  Production fabrics hash each flow's 5-tuple onto one
+of the equal-cost valley-free paths; here the same idea is reproduced
+deterministically — a keyed hash of the flow's endpoints and label
+picks the fabric plane and spine ports, so any consumer (the evidence
+harvester, the voting tally, a test) reconstructs the identical path
+from the identical flow identity without shared state.
+
+Path shapes over a :class:`~repro.fabric.topology.FabricTopology`:
+
+* **intra-ToR** — both endpoints under one ToR: no fabric links.
+* **intra-pod** — ToR up to a fabric switch, back down to the peer ToR:
+  2 links, one ECMP choice (the fabric plane).
+* **inter-pod** — up to a fabric switch, up its spine plane, down into
+  the destination pod's same-plane fabric switch, down to the ToR:
+  4 links, three ECMP choices (plane, up-port, down-port).  Planes are
+  preserved across the spine (a spine plane only interconnects the
+  fabric switches of its own index), as in the paper's Figure 4 fabric.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+from ..fabric.topology import FabricTopology
+
+__all__ = ["ecmp_path", "flow_endpoints"]
+
+
+def _hash_choice(seed: int, parts: Tuple[int, ...], salt: str, n: int) -> int:
+    """A deterministic ECMP choice in ``[0, n)`` keyed by flow identity.
+
+    sha256 rather than ``hash()`` so the choice is stable across
+    processes and Python builds (the same property the RNG factory's
+    addressed streams rely on).
+    """
+    key = f"{seed}:ecmp:{salt}:" + ":".join(str(p) for p in parts)
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:8], "little") % n
+
+
+def ecmp_path(
+    topology: FabricTopology,
+    src_pod: int,
+    src_tor: int,
+    dst_pod: int,
+    dst_tor: int,
+    flow_label: int,
+    seed: int = 0,
+) -> Tuple[int, ...]:
+    """Link ids a flow crosses, in src-to-dst order.
+
+    ``flow_label`` stands in for the transport 5-tuple's ports: two
+    flows between the same ToRs with different labels may hash onto
+    different planes, exactly the ECMP spreading the voting scheme
+    counts on for coverage of every link.
+    """
+    identity = (src_pod, src_tor, dst_pod, dst_tor, flow_label)
+    if src_pod == dst_pod:
+        if src_tor == dst_tor:
+            return ()
+        fabric = _hash_choice(seed, identity, "plane",
+                              topology.fabrics_per_pod)
+        return (
+            topology.tor_fabric_link(src_pod, src_tor, fabric).link_id,
+            topology.tor_fabric_link(dst_pod, dst_tor, fabric).link_id,
+        )
+    fabric = _hash_choice(seed, identity, "plane", topology.fabrics_per_pod)
+    up_port = _hash_choice(seed, identity, "up", topology.spine_uplinks)
+    down_port = _hash_choice(seed, identity, "down", topology.spine_uplinks)
+    return (
+        topology.tor_fabric_link(src_pod, src_tor, fabric).link_id,
+        topology.fabric_spine_link(src_pod, fabric, up_port).link_id,
+        topology.fabric_spine_link(dst_pod, fabric, down_port).link_id,
+        topology.tor_fabric_link(dst_pod, dst_tor, fabric).link_id,
+    )
+
+
+def flow_endpoints(rng, n_pods: int, tors_per_pod: int
+                   ) -> Tuple[int, int, int, int]:
+    """Draw (src_pod, src_tor, dst_pod, dst_tor) with distinct ToRs.
+
+    Rejection-samples the destination until it differs from the source
+    ToR — an intra-ToR flow crosses no fabric link and carries no
+    evidence.  Uses exactly one ``rng.integers`` call per attempt so
+    the draw count is bounded and the stream stays addressable.
+    """
+    total = n_pods * tors_per_pod
+    src = int(rng.integers(total))
+    dst = int(rng.integers(total))
+    while dst == src:
+        dst = int(rng.integers(total))
+    return (src // tors_per_pod, src % tors_per_pod,
+            dst // tors_per_pod, dst % tors_per_pod)

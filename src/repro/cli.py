@@ -1206,6 +1206,18 @@ def cmd_serve(argv: List[str]) -> int:
                              "(0 = whole trace)")
     parser.add_argument("--interval", type=float, default=0.0, metavar="S",
                         help="real-time pacing between synthetic records")
+    parser.add_argument("--evidence", default="port_counters",
+                        choices=["port_counters", "voting"],
+                        help="corruption signal: RX counter snapshots "
+                             "through LossWindows, or per-flow retx "
+                             "reports through 007 voting")
+    parser.add_argument("--blame-window", type=float, default=60.0,
+                        metavar="S", help="voting: sliding evidence window")
+    parser.add_argument("--coverage", type=float, default=1.0,
+                        help="voting: fraction of synthetic flow reports "
+                             "surviving telemetry loss")
+    parser.add_argument("--flows-per-s", type=float, default=0.0,
+                        help="voting: synthetic flow rate (0 = fleet-sized)")
     parser.add_argument("--window-frames", type=int, default=10_000_000,
                         help="loss-estimation window (frames)")
     parser.add_argument("--onset-threshold", type=float, default=1e-6)
@@ -1257,6 +1269,10 @@ def cmd_serve(argv: List[str]) -> int:
             synthetic_days=args.synthetic_days,
             synthetic_records=args.synthetic_records,
             interval_s=args.interval,
+            evidence=args.evidence,
+            blame_window_s=args.blame_window,
+            coverage=args.coverage,
+            flows_per_s=args.flows_per_s,
             window_frames=args.window_frames,
             onset_threshold=args.onset_threshold,
             clear_hysteresis=args.clear_hysteresis,
@@ -1283,6 +1299,7 @@ def cmd_serve(argv: List[str]) -> int:
         if not _JSON_MODE:
             _print(f"serving on http://{args.host}:{service.port} "
                    f"(telemetry={config.telemetry}, "
+                   f"evidence={config.evidence}, "
                    f"backend={config.backend}, "
                    f"{config.fleet.n_links} links); SIGTERM drains")
             if service.ingest_port is not None:
@@ -1299,6 +1316,235 @@ def cmd_serve(argv: List[str]) -> int:
         return 0
 
     return asyncio.run(serve_forever())
+
+
+def cmd_blame(argv: List[str]) -> int:
+    """``repro blame {report,eval,optimize}`` — corruption localization.
+
+    ``report`` harvests one window of flow evidence against a lifecycle
+    trace and prints the ranked 007 vote; ``eval`` scores voting against
+    ground truth (precision / recall / top-1) across telemetry-coverage
+    levels, exiting 1 when ``--fail-under`` is given and single-bad-link
+    top-1 accuracy lands below it; ``optimize`` replays a trace window
+    through every registered activation policy x budget and ranks them
+    by link-seconds of damage.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro blame",
+        description="Fleet-scale corruption localization from flow-level "
+                    "evidence: 007-style voting, no oracle counters.",
+    )
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    def add_fleet_args(p) -> None:
+        p.add_argument("--fleet-pods", type=int, default=2)
+        p.add_argument("--fleet-tors", type=int, default=4)
+        p.add_argument("--fleet-fabrics", type=int, default=2)
+        p.add_argument("--fleet-spines", type=int, default=4)
+        p.add_argument("--mttf-hours", type=float, default=300.0,
+                       help="per-link mean time between corruption onsets")
+        p.add_argument("--seed", type=int, default=1)
+
+    def add_evidence_args(p) -> None:
+        p.add_argument("--window", type=float, default=60.0, metavar="S",
+                       help="evidence window the vote runs over")
+        p.add_argument("--coverage", type=float, default=1.0,
+                       help="fraction of flow reports surviving "
+                            "telemetry loss")
+        p.add_argument("--flows-per-s", type=float, default=0.0,
+                       help="aggregate flow rate (0 = sized to fleet)")
+        p.add_argument("--flow-packets", type=int, default=100)
+        p.add_argument("--min-votes", type=float, default=2.0,
+                       help="votes below this never enter the blamed set")
+
+    rpt_p = sub.add_parser("report",
+                           help="rank one evidence window's blamed links")
+    add_fleet_args(rpt_p)
+    add_evidence_args(rpt_p)
+    rpt_p.add_argument("--days", type=float, default=10.0,
+                       help="lifecycle trace length the window comes from")
+    rpt_p.add_argument("--repair", default="corropt",
+                       help="repair policy applied to the trace")
+    rpt_p.add_argument("--at", type=float, default=None, metavar="T",
+                       help="window start in trace seconds (default: the "
+                            "first window with a corrupting link)")
+    rpt_p.add_argument("--top", type=int, default=10,
+                       help="ranked links to print")
+    rpt_p.add_argument("--json", action="store_true")
+
+    eval_p = sub.add_parser("eval",
+                            help="score voting against ground truth")
+    add_fleet_args(eval_p)
+    add_evidence_args(eval_p)
+    eval_p.add_argument("--mode", dest="eval_mode", default="trials",
+                        choices=["trials", "trace"],
+                        help="trials = planted single-bad-link windows; "
+                             "trace = lifecycle ground truth")
+    eval_p.add_argument("--trials", type=int, default=20,
+                        help="windows evaluated per coverage level")
+    eval_p.add_argument("--coverages", default=None, metavar="C1,C2",
+                        help="sweep these coverage levels instead of "
+                             "--coverage (e.g. 1.0,0.5,0.2)")
+    eval_p.add_argument("--loss-lo", type=float, default=5e-4)
+    eval_p.add_argument("--loss-hi", type=float, default=5e-3)
+    eval_p.add_argument("--trace-days", type=float, default=10.0)
+    eval_p.add_argument("--detectable-loss", type=float, default=1e-4,
+                        help="trace mode: truth is links at/above this")
+    eval_p.add_argument("--repair", default="corropt")
+    eval_p.add_argument("--fail-under", type=float, default=None,
+                        metavar="FRACTION",
+                        help="exit 1 if single-bad-link top-1 accuracy "
+                             "< FRACTION at any coverage level")
+    eval_p.add_argument("--json", action="store_true")
+
+    opt_p = sub.add_parser("optimize",
+                           help="rank activation policies over a trace")
+    add_fleet_args(opt_p)
+    opt_p.add_argument("--days", type=float, default=10.0,
+                       help="lifecycle trace replayed through candidates")
+    opt_p.add_argument("--repair", default="corropt")
+    opt_p.add_argument("--budgets", default="8,64", metavar="B1,B2",
+                       help="activation budgets swept per policy")
+    opt_p.add_argument("--json", action="store_true")
+
+    args = parser.parse_args(argv)
+    global _JSON_MODE
+    _JSON_MODE = args.json
+
+    from .fleet.topology import FleetSpec
+
+    fleet = FleetSpec(
+        n_pods=args.fleet_pods, tors_per_pod=args.fleet_tors,
+        fabrics_per_pod=args.fleet_fabrics, spine_uplinks=args.fleet_spines,
+        mttf_hours=args.mttf_hours)
+
+    if args.mode == "report":
+        from .blame import (
+            LossOracle, default_fleet_evidence, harvest_evidence, tally_votes,
+        )
+        from .fleet.topology import FleetTopology
+        from .lifecycle.repair import apply_repair, repair_policy
+        from .lifecycle.traces import TraceSpec, generate_trace
+
+        trace = generate_trace(TraceSpec(
+            fleet=fleet, duration_days=args.days, seed=args.seed))
+        repaired, _ = apply_repair(trace, repair_policy(args.repair))
+        episodes = [item.episode for item in repaired]
+        oracle = LossOracle(episodes)
+        t_lo = args.at
+        if t_lo is None:
+            duration_s = args.days * 24 * 3600.0
+            t_lo = 0.0
+            while t_lo + args.window <= duration_s:
+                if oracle.corrupting_at(t_lo + args.window / 2):
+                    break
+                t_lo += args.window
+        overrides = {"coverage": args.coverage}
+        if args.flows_per_s > 0:
+            overrides["flows_per_s"] = args.flows_per_s
+        evidence = default_fleet_evidence(fleet, seed=args.seed, **overrides)
+        topology = FleetTopology(fleet, seed=args.seed)
+        reports = harvest_evidence(
+            evidence, topology, episodes, t_lo, t_lo + args.window)
+        verdict = tally_votes(reports, flow_packets=args.flow_packets,
+                              min_votes=args.min_votes)
+        truth = set(oracle.corrupting_at(t_lo + args.window / 2))
+        if not _JSON_MODE:
+            _print(f"window [{t_lo:.0f}s, {t_lo + args.window:.0f}s): "
+                   f"{verdict.n_reports} reports, {verdict.n_flagged} "
+                   f"flagged; blamed {verdict.blamed}; truth {sorted(truth)}")
+        rows = []
+        for score in verdict.ranked[:args.top]:
+            link = topology.link(score.link_id)
+            rows.append({
+                "link": score.link_id,
+                "pod": link.pod,
+                "kind": link.kind,
+                "votes": round(score.votes, 2),
+                "flagged": score.flagged,
+                "crossings": score.crossings,
+                "loss_estimate": f"{score.loss_estimate:.2e}",
+                "confidence": round(score.confidence, 3),
+                "blamed": score.link_id in verdict.blamed,
+                "truth": score.link_id in truth,
+            })
+        _emit(rows)
+        return 0
+
+    if args.mode == "eval":
+        from .blame import BlameEvalSpec, evaluate_blame
+
+        if args.coverages:
+            try:
+                coverages = [float(c) for c in args.coverages.split(",")]
+            except ValueError:
+                _usage_error("--coverages must be comma-separated floats")
+        else:
+            coverages = [args.coverage]
+        rows = []
+        for coverage in coverages:
+            spec_kwargs = dict(
+                fleet=fleet, mode=args.eval_mode, n_trials=args.trials,
+                window_s=args.window, coverage=coverage,
+                flow_packets=args.flow_packets, min_votes=args.min_votes,
+                loss_lo=args.loss_lo, loss_hi=args.loss_hi,
+                trace_days=args.trace_days,
+                detectable_loss=args.detectable_loss,
+                repair=args.repair, seed=args.seed)
+            if args.flows_per_s > 0:
+                spec_kwargs["flows_per_s"] = args.flows_per_s
+            try:
+                spec = BlameEvalSpec(**spec_kwargs)
+            except ValueError as exc:
+                _usage_error(str(exc))
+            metrics = evaluate_blame(spec)
+            rows.append({
+                "coverage": coverage,
+                "windows": metrics["windows"],
+                "top1": round(metrics["top1_accuracy"], 4),
+                "single_top1": round(metrics["single_top1_accuracy"], 4),
+                "precision": round(metrics["precision"], 4),
+                "recall": round(metrics["recall"], 4),
+                "mean_blamed": round(metrics["mean_blamed"], 2),
+            })
+        _emit(rows)
+        if args.fail_under is not None:
+            worst = min(row["single_top1"] for row in rows)
+            if worst < args.fail_under:
+                if not _JSON_MODE:
+                    _print(f"FAIL: single-bad-link top-1 {worst} < "
+                           f"{args.fail_under}")
+                return 1
+        return 0
+
+    # mode == "optimize"
+    from .fleet.policies import default_candidates, optimize_policies
+    from .lifecycle.repair import apply_repair, repair_policy
+    from .lifecycle.traces import TraceSpec, generate_trace
+
+    try:
+        budgets = [int(b) for b in args.budgets.split(",")]
+    except ValueError:
+        _usage_error("--budgets must be comma-separated integers")
+    trace = generate_trace(TraceSpec(
+        fleet=fleet, duration_days=args.days, seed=args.seed))
+    repaired, _ = apply_repair(trace, repair_policy(args.repair))
+    episodes = [item.episode for item in repaired]
+    results = optimize_policies(
+        fleet, episodes, seed=args.seed,
+        candidates=default_candidates(budgets))
+    rows = [{
+        "rank": rank,
+        "candidate": row["label"],
+        "cost_link_s": round(row["cost_link_seconds"], 1),
+        "disables": row.get("disables", 0),
+        "activations": row.get("activations", 0),
+        "blocked": row.get("blocked", 0),
+    } for rank, row in enumerate(results, start=1)]
+    _emit(rows)
+    if not _JSON_MODE and rows:
+        _print(f"best: {rows[0]['candidate']} over {len(episodes)} episodes")
+    return 0
 
 
 COMMANDS = {
@@ -1347,6 +1593,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "serve":
         # The long-running control-plane service (own flag grammar).
         return cmd_serve(argv[1:])
+    if argv and argv[0] == "blame":
+        # And report/eval/optimize for voting-based localization.
+        return cmd_blame(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Run LinkGuardian reproduction experiments.",
@@ -1469,6 +1718,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                      "description": "always-on control plane: streaming "
                                     "telemetry, /metrics, cached what-if "
                                     "API ('repro serve -h')"})
+        rows.append({"experiment": "blame",
+                     "description": "corruption localization from flow "
+                                    "evidence: 007 voting, accuracy eval, "
+                                    "policy optimizer ('repro blame -h')"})
         _emit(rows)
         return 0
     command, _ = COMMANDS[args.experiment]

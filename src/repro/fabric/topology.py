@@ -141,6 +141,17 @@ class FabricTopology:
         self._check_fabric(fabric)
         return [self._tor_fabric[(pod, tor, fabric)]]
 
+    def tor_fabric_link(self, pod: int, tor: int, fabric: int) -> FabricLink:
+        """The single link from one ToR up to one fabric switch."""
+        return self.links_between(pod, tor, fabric)[0]
+
+    def fabric_spine_link(self, pod: int, fabric: int, port: int) -> FabricLink:
+        """One fabric switch's uplink into its spine plane, by port."""
+        self._check_pod(pod)
+        self._check_fabric(fabric)
+        self._check_index("spine port", port, self.spine_uplinks)
+        return self._fabric_spine[(pod, fabric, port)]
+
     # -- path counting -------------------------------------------------------------
 
     def fabric_up_spine_links(self, pod: int, fabric: int) -> int:

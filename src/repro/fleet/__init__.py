@@ -28,6 +28,10 @@ from .controller import (
     POLICIES, ControllerConfig, FleetController, FleetPolicy,
     GreedyWorstLinkPolicy, IncrementalDeploymentPolicy,
 )
+from .policies import (
+    PolicyCandidate, TraceDrivenOptimizer, default_candidates, fleet_policy,
+    optimize_policies, register_policy,
+)
 from .topology import (
     CorruptionEpisode, FleetSpec, FleetTopology, LinkProfile, link_episodes,
     sample_affected_fraction, sample_profile,
@@ -38,6 +42,8 @@ __all__ = [
     "run_shard", "shard_bounds", "unprotected_goodput_fraction",
     "POLICIES", "ControllerConfig", "FleetController", "FleetPolicy",
     "GreedyWorstLinkPolicy", "IncrementalDeploymentPolicy",
+    "PolicyCandidate", "TraceDrivenOptimizer", "default_candidates",
+    "fleet_policy", "optimize_policies", "register_policy",
     "CorruptionEpisode", "FleetSpec", "FleetTopology", "LinkProfile",
     "link_episodes", "sample_affected_fraction", "sample_profile",
 ]

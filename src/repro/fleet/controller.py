@@ -13,10 +13,11 @@ deployment story needs a second, global decision per corrupting link:
 
 The arbitration loop replays the fleet's merged corruption-episode
 timeline in deterministic ``(time, link_id)`` order, delegating each
-onset to a pluggable :class:`FleetPolicy`.  Two policies ship: the
-paper's incremental-deployment policy (disable-first, LG as the relief
-valve when capacity is tight) and a greedy-worst-link baseline (LG-first
-on the highest loss rates, preempting milder links when the budget is
+onset to a pluggable :class:`FleetPolicy` from the
+:mod:`repro.fleet.policies` registry.  Two policies ship: the paper's
+incremental-deployment policy (disable-first, LG as the relief valve
+when capacity is tight) and a greedy-worst-link baseline (LG-first on
+the highest loss rates, preempting milder links when the budget is
 full).  Every decision is counted in the metrics registry and emitted on
 the event trace under the ``fleet`` category.
 """
@@ -31,6 +32,10 @@ from ..corropt.simulation import (
 )
 from ..fabric.topology import FabricLink
 from ..obs.trace import NULL_TRACER
+from .policies import (
+    POLICIES, FleetPolicy, GreedyWorstLinkPolicy,
+    IncrementalDeploymentPolicy,
+)
 from .topology import CorruptionEpisode, FleetTopology
 
 __all__ = [
@@ -114,83 +119,9 @@ class ControllerOutcome:
         }
 
 
-class FleetPolicy:
-    """Pluggable arbitration strategy; subclasses decide per onset."""
-
-    name = "base"
-
-    def on_onset(self, controller: "FleetController", link: FabricLink,
-                 episode: CorruptionEpisode, index: int) -> None:
-        raise NotImplementedError
-
-    def on_clear(self, controller: "FleetController", link: FabricLink,
-                 episode: CorruptionEpisode, index: int) -> None:
-        """Hook after a repaired link returns (optimizer pass etc.)."""
-
-
-class IncrementalDeploymentPolicy(FleetPolicy):
-    """The paper's deployment policy (§6): disable-first, LG when blocked.
-
-    CorrOpt semantics with LinkGuardian as the relief valve: a corrupting
-    link is disabled for repair whenever the capacity constraint allows;
-    when it does not, LinkGuardian keeps the link carrying traffic.  On
-    every repair completion an optimizer pass retries the still-exposed
-    links, worst first.
-    """
-
-    name = "incremental"
-
-    def on_onset(self, controller, link, episode, index) -> None:
-        if controller.try_disable(link, episode, index):
-            return
-        if controller.try_activate(link, episode, index):
-            return
-        controller.mark_blocked(link, episode, index)
-
-    def on_clear(self, controller, link, episode, index) -> None:
-        now_s = episode.clear_s
-        for other_index, other in controller.exposed_worst_first():
-            other_link = controller.topology.link(other.link_id)
-            if controller.try_disable(other_link, other, other_index, now_s):
-                continue
-            controller.try_activate(other_link, other, other_index, now_s)
-
-
-class GreedyWorstLinkPolicy(FleetPolicy):
-    """Baseline: spend the LG budget on the worst links, preempting.
-
-    Activation-first — corruption is masked rather than routed around —
-    and when the budget is full the mildest active link is preempted if
-    the newcomer is strictly worse.  Links that miss the budget fall back
-    to CorrOpt disable, then to exposed.
-    """
-
-    name = "greedy-worst"
-
-    def on_onset(self, controller, link, episode, index) -> None:
-        if controller.try_activate(link, episode, index):
-            return
-        if controller.can_preempt_for(episode):
-            controller.preempt_mildest(episode.onset_s)
-            if controller.try_activate(link, episode, index):
-                return
-        if controller.try_disable(link, episode, index):
-            return
-        controller.mark_blocked(link, episode, index)
-
-    def on_clear(self, controller, link, episode, index) -> None:
-        now_s = episode.clear_s
-        for other_index, other in controller.exposed_worst_first():
-            other_link = controller.topology.link(other.link_id)
-            if controller.try_activate(other_link, other, other_index, now_s):
-                continue
-            controller.try_disable(other_link, other, other_index, now_s)
-
-
-POLICIES = {
-    IncrementalDeploymentPolicy.name: IncrementalDeploymentPolicy,
-    GreedyWorstLinkPolicy.name: GreedyWorstLinkPolicy,
-}
+# FleetPolicy, IncrementalDeploymentPolicy, GreedyWorstLinkPolicy, and
+# the POLICIES registry live in repro.fleet.policies; they are
+# re-exported here (see the imports above) for backward compatibility.
 
 
 class FleetController:

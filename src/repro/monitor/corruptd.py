@@ -45,7 +45,17 @@ class LossWindow:
         return len(self._snapshots)
 
     def observe(self, rx_all: int, rx_ok: int) -> None:
-        """Record one counter snapshot; old ones slide out of the window."""
+        """Record one counter snapshot; old ones slide out of the window.
+
+        A snapshot with a *decreasing* counter means the source reset
+        (switch reboot, ASIC counter wrap, daemon restart) — deltas
+        against pre-reset snapshots would be negative or nonsensical, so
+        the window restarts from the new baseline instead.
+        """
+        if self._snapshots:
+            last_all, last_ok = self._snapshots[-1]
+            if rx_all < last_all or rx_ok < last_ok:
+                self._snapshots.clear()
         self._snapshots.append((rx_all, rx_ok))
         while len(self._snapshots) > 2 and (
             self._snapshots[-1][0] - self._snapshots[1][0] >= self.window_frames

@@ -35,6 +35,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..blame.adapter import BlameMonitor
 from ..core.state import SnapshotError
 from ..corropt.simulation import (
     lg_effective_loss_rate, lg_effective_speed_fraction,
@@ -48,8 +49,8 @@ from .cache import QueryError, WhatIfCache, WhatIfQuery
 from .config import ServiceConfig
 from .http import HttpError, Request, Response, json_response, serve
 from .telemetry import (
-    TelemetryError, file_source, parse_record, stream_source,
-    synthetic_from_config,
+    TelemetryError, file_source, flow_evidence_from_config,
+    parse_evidence_line, parse_record, stream_source, synthetic_from_config,
 )
 
 __all__ = [
@@ -141,13 +142,28 @@ class ControlPlaneService:
         self.config = config
         self.obs = obs if obs is not None else Observability(tracing=False)
         self.topology = FleetTopology(config.fleet, seed=config.seed)
-        self.arbiter = StreamingArbiter(
-            self.topology, config.controller, config.policy,
-            window_frames=config.window_frames,
-            onset_threshold=config.onset_threshold,
-            clear_hysteresis=config.clear_hysteresis,
-            decision_log=config.decision_log,
-            obs=self.obs)
+        # The two arbiters expose the same surface (observe / counts /
+        # state_dict / shard_sizes / decisions / .controller); which one
+        # runs — and what the ingest stream must carry — is the
+        # ``evidence`` knob.
+        if config.evidence == "voting":
+            self.arbiter = BlameMonitor(
+                self.topology, config.controller, config.policy,
+                window_s=config.blame_window_s,
+                onset_threshold=config.onset_threshold,
+                clear_hysteresis=config.clear_hysteresis,
+                decision_log=config.decision_log,
+                obs=self.obs)
+            self._parse_line = parse_evidence_line
+        else:
+            self.arbiter = StreamingArbiter(
+                self.topology, config.controller, config.policy,
+                window_frames=config.window_frames,
+                onset_threshold=config.onset_threshold,
+                clear_hysteresis=config.clear_hysteresis,
+                decision_log=config.decision_log,
+                obs=self.obs)
+            self._parse_line = parse_record
         self.cache = WhatIfCache(config.cache_size)
         self.draining = False
         self.port: Optional[int] = None          # bound HTTP port
@@ -233,7 +249,10 @@ class ControlPlaneService:
             return
         self._tasks.append(asyncio.create_task(self._ingest_consumer()))
         if config.telemetry == "synthetic":
-            source = synthetic_from_config(config)
+            if config.evidence == "voting":
+                source = flow_evidence_from_config(config)
+            else:
+                source = synthetic_from_config(config)
             self._tasks.append(asyncio.create_task(
                 self._pump_records(source.source(config.interval_s))))
         elif config.telemetry == "file":
@@ -259,7 +278,7 @@ class ControlPlaneService:
                 if not line.strip():
                     continue
                 try:
-                    record = parse_record(line)
+                    record = self._parse_line(line)
                 except TelemetryError:
                     self._bad_lines += 1
                     continue
@@ -274,7 +293,7 @@ class ControlPlaneService:
                 if not line.strip():
                     continue
                 try:
-                    record = parse_record(line)
+                    record = self._parse_line(line)
                 except TelemetryError:
                     self._bad_lines += 1
                     continue
@@ -483,6 +502,9 @@ class ControlPlaneService:
             if task.get_coro().__name__ in (
                     "_pump_records", "_pump_lines", "_ingest_consumer"):
                 task.cancel()
+        # Evidence at the tail of the stream still reaches a verdict.
+        if isinstance(self.arbiter, BlameMonitor):
+            self.arbiter.flush()
         # 2. Reject every *queued* (not yet started) query with 503:
         #    cancelling the job future resolves its waiting handler.
         while True:

@@ -58,6 +58,12 @@ class LinkState:
 class StreamingArbiter:
     """Drives a :class:`FleetController` from a live counter stream."""
 
+    #: evidence source stamped on every decision record, so operators
+    #: can tell which signal (oracle counters vs 007 voting) drove an
+    #: activation — the :class:`~repro.blame.adapter.BlameMonitor`
+    #: stamps ``"voting"`` on the same record shape
+    evidence = "port_counters"
+
     def __init__(self, topology: FleetTopology, config: ControllerConfig,
                  policy: str = "incremental", *,
                  window_frames: int = 10_000_000,
@@ -152,6 +158,7 @@ class StreamingArbiter:
                 "link_id": decision.link_id,
                 "action": decision.action,
                 "loss_rate": decision.loss_rate,
+                "evidence": self.evidence,
             }
             fresh.append(record)
             self.decisions.append(record)
@@ -176,6 +183,7 @@ class StreamingArbiter:
     def state_dict(self) -> dict:
         """A JSON-able snapshot of the arbitration state (GET /state)."""
         return {
+            "evidence": self.evidence,
             "counts": self.counts(),
             "shard_sizes": self.shard_sizes(),
             "corrupting": [

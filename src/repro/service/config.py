@@ -16,10 +16,17 @@ from typing import Any, Dict, Optional
 from ..fleet.controller import POLICIES, ControllerConfig
 from ..fleet.topology import FleetSpec
 
-__all__ = ["ServiceConfig", "TELEMETRY_KINDS", "EXECUTOR_KINDS"]
+__all__ = ["ServiceConfig", "TELEMETRY_KINDS", "EXECUTOR_KINDS",
+           "EVIDENCE_KINDS"]
 
 #: where telemetry records come from
 TELEMETRY_KINDS = ("synthetic", "file", "tcp", "none")
+
+#: what the arbiter's corruption signal is built from:
+#: ``port_counters`` ingests RX counter snapshots through per-link
+#: LossWindows; ``voting`` ingests per-flow retransmission reports and
+#: localizes via 007-style voting (no switch counters needed)
+EVIDENCE_KINDS = ("port_counters", "voting")
 
 #: how what-if cells are executed ("inline" runs on the event loop —
 #: tests and debugging only, it blocks the service during a query)
@@ -58,6 +65,15 @@ class ServiceConfig:
 
     # -- telemetry ingestion --------------------------------------------------
     telemetry: str = "synthetic"
+    #: corruption signal: "port_counters" (LossWindow over RX snapshots)
+    #: or "voting" (007-style blame over per-flow retx reports)
+    evidence: str = "port_counters"
+    #: voting mode: sliding evidence window the monitor re-votes over
+    blame_window_s: float = 60.0
+    #: voting mode: aggregate synthetic flow rate (0 = sized to fleet)
+    flows_per_s: float = 0.0
+    #: voting mode: fraction of flow reports surviving telemetry loss
+    coverage: float = 1.0
     #: JSONL file to tail (telemetry="file")
     telemetry_file: Optional[str] = None
     #: keep tailing the file for appends instead of stopping at EOF
@@ -109,6 +125,16 @@ class ServiceConfig:
             raise ValueError(
                 f"unknown policy {self.policy!r}; "
                 f"known: {', '.join(sorted(POLICIES))}")
+        if self.evidence not in EVIDENCE_KINDS:
+            raise ValueError(
+                f"unknown evidence {self.evidence!r}; "
+                f"known: {', '.join(EVIDENCE_KINDS)}")
+        if self.blame_window_s <= 0:
+            raise ValueError("blame_window_s must be positive")
+        if self.flows_per_s < 0:
+            raise ValueError("flows_per_s must be >= 0")
+        if not 0.0 < self.coverage <= 1.0:
+            raise ValueError("coverage must be in (0, 1]")
         if self.telemetry == "file" and not self.telemetry_file:
             raise ValueError("telemetry='file' needs telemetry_file")
         if self.queue_limit < 1 or self.max_inflight < 1:

@@ -20,6 +20,12 @@ Three sources produce that stream:
 
 All sources are async iterators of :class:`TelemetryRecord`; malformed
 lines are counted and skipped, never fatal to the loop.
+
+When the service runs with ``evidence="voting"`` the stream carries
+*flow reports* instead (:class:`~repro.blame.evidence.FlowReport` JSONL,
+see :func:`parse_evidence_line`), and :class:`SyntheticFlowEvidence` is
+the demo source — the same lifecycle trace, harvested as per-flow
+retransmission evidence rather than counter snapshots.
 """
 
 from __future__ import annotations
@@ -29,12 +35,18 @@ import json
 from dataclasses import dataclass
 from typing import AsyncIterator, Dict, Iterator, List, Tuple
 
+from ..blame.evidence import (
+    FlowReport, LossOracle, default_fleet_evidence, iter_reports,
+    parse_flow_report,
+)
+from ..fleet.topology import FleetTopology
 from ..lifecycle.repair import apply_repair, repair_policy
 from ..lifecycle.traces import TraceSpec, generate_trace
 
 __all__ = [
     "TelemetryRecord", "TelemetryError", "parse_record",
-    "file_source", "stream_source", "SyntheticTelemetry",
+    "parse_evidence_line", "file_source", "stream_source",
+    "SyntheticTelemetry", "SyntheticFlowEvidence",
 ]
 
 
@@ -84,6 +96,20 @@ def parse_record(line: str) -> TelemetryRecord:
     if record.rx_ok > record.rx_all:
         raise TelemetryError("rx_ok exceeds rx_all")
     return record
+
+
+def parse_evidence_line(line: str) -> FlowReport:
+    """Parse one JSONL flow-report line; :class:`TelemetryError` on junk."""
+    try:
+        data = json.loads(line)
+    except ValueError as exc:
+        raise TelemetryError(f"not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise TelemetryError("flow report is not an object")
+    try:
+        return parse_flow_report(data)
+    except ValueError as exc:
+        raise TelemetryError(str(exc)) from None
 
 
 async def file_source(path: str, follow: bool = False,
@@ -214,6 +240,61 @@ class SyntheticTelemetry:
                 await asyncio.sleep(0)
 
 
+class SyntheticFlowEvidence:
+    """Deterministic flow-report feed regenerated from a lifecycle trace.
+
+    The counterpart of :class:`SyntheticTelemetry` for the voting
+    evidence path: the same trace + repair loop yields per-link
+    corrupting intervals, but instead of counter snapshots the generator
+    harvests the fleet's per-flow retransmission reports against that
+    ground truth (:func:`repro.blame.evidence.iter_reports`), in
+    ``chunk_s`` slices so memory stays bounded on month-long traces.
+    Report streams are addressed per flow index, so the slicing never
+    changes the evidence.
+    """
+
+    def __init__(self, spec: TraceSpec, repair: str = "corropt",
+                 flows_per_s: float = 0.0, coverage: float = 1.0,
+                 chunk_s: float = 600.0, limit: int = 0) -> None:
+        self.spec = spec
+        self.chunk_s = float(chunk_s)
+        self.limit = int(limit)
+        self.topology = FleetTopology(spec.fleet, seed=spec.seed)
+        overrides: Dict[str, float] = {"coverage": float(coverage)}
+        if flows_per_s > 0:
+            overrides["flows_per_s"] = float(flows_per_s)
+        self.evidence = default_fleet_evidence(
+            spec.fleet, seed=spec.seed, **overrides)
+        trace = generate_trace(spec)
+        repaired, _ = apply_repair(trace, repair_policy(repair))
+        self.oracle = LossOracle([r.episode for r in repaired])
+
+    def reports(self) -> Iterator[FlowReport]:
+        """The full deterministic report sequence, oldest first."""
+        emitted = 0
+        t_lo = 0.0
+        duration_s = self.spec.duration_s
+        while t_lo < duration_s:
+            t_hi = min(t_lo + self.chunk_s, duration_s)
+            for report in iter_reports(self.evidence, self.topology,
+                                       self.oracle.loss_at, t_lo, t_hi):
+                yield report
+                emitted += 1
+                if self.limit and emitted >= self.limit:
+                    return
+            t_lo = t_hi
+
+    async def source(self, interval_s: float = 0.0,
+                     yield_every: int = 64) -> AsyncIterator[FlowReport]:
+        """The report sequence as an async iterator (paced like telemetry)."""
+        for count, report in enumerate(self.reports(), start=1):
+            yield report
+            if interval_s > 0:
+                await asyncio.sleep(interval_s)
+            elif count % yield_every == 0:
+                await asyncio.sleep(0)
+
+
 def synthetic_from_config(config) -> SyntheticTelemetry:
     """Build the demo source a :class:`ServiceConfig` describes."""
     spec = TraceSpec(fleet=config.fleet, duration_days=config.synthetic_days,
@@ -222,5 +303,17 @@ def synthetic_from_config(config) -> SyntheticTelemetry:
         spec,
         tick_s=config.tick_s,
         frames_per_tick=config.frames_per_tick,
+        limit=config.synthetic_records,
+    )
+
+
+def flow_evidence_from_config(config) -> SyntheticFlowEvidence:
+    """Build the voting-mode demo source a :class:`ServiceConfig` describes."""
+    spec = TraceSpec(fleet=config.fleet, duration_days=config.synthetic_days,
+                     seed=config.seed)
+    return SyntheticFlowEvidence(
+        spec,
+        flows_per_s=config.flows_per_s,
+        coverage=config.coverage,
         limit=config.synthetic_records,
     )

@@ -158,6 +158,16 @@ class TestStreamingArbiter:
         assert out == []
         assert arbiter.rejected == 1
 
+    def test_decisions_labeled_with_evidence_source(self):
+        """Satellite: every decision record says what signal drove it."""
+        arbiter = self._arbiter()
+        assert arbiter.evidence == "port_counters"
+        self._feed(arbiter, 5, 0.0, 1000, 0)
+        decisions = self._feed(arbiter, 5, 60.0, 1000, 50)
+        assert decisions
+        assert all(d["evidence"] == "port_counters" for d in decisions)
+        assert arbiter.state_dict()["evidence"] == "port_counters"
+
     def test_state_sharded_by_pod(self):
         arbiter = self._arbiter()
         pods = set()
@@ -166,6 +176,82 @@ class TestStreamingArbiter:
             pods.add(arbiter.topology.link(link_id).pod)
         assert set(arbiter.shard_sizes()) == pods
         assert arbiter.tracked_links() == 3
+
+
+class TestVotingEvidenceService:
+    """evidence="voting": the BlameMonitor behind the same service."""
+
+    def test_evidence_line_parsing(self):
+        from repro.blame import FlowReport
+        from repro.service.telemetry import parse_evidence_line
+
+        report = FlowReport(2.5, 7, 0, 1, 1, 2, (3, 12, 30, 21), True)
+        assert parse_evidence_line(report.to_json()) == report
+        for line in ("junk", "[1]", '{"t": 1.0, "flow": 2}'):
+            with pytest.raises(TelemetryError):
+                parse_evidence_line(line)
+
+    def test_config_validates_evidence(self):
+        assert small_config().evidence == "port_counters"
+        assert small_config(evidence="voting").evidence == "voting"
+        with pytest.raises(ValueError, match="unknown evidence"):
+            small_config(evidence="rumor")
+        with pytest.raises(ValueError):
+            small_config(evidence="voting", coverage=0.0)
+
+    def test_file_fed_voting_service_reaches_oracle_decisions(self, tmp_path):
+        """Flow-report JSONL in, voting-labeled decisions out — and the
+        controller acts on the corrupting link the evidence implies."""
+        from repro.blame import EvidenceSpec, harvest_evidence
+        from repro.fleet.topology import CorruptionEpisode
+
+        config = small_config(
+            evidence="voting", telemetry="file", blame_window_s=60.0,
+            telemetry_file=str(tmp_path / "evidence.jsonl"),
+            onset_threshold=1e-6)
+        topology = FleetTopology(config.fleet, seed=config.seed)
+        truth = CorruptionEpisode(link_id=5, onset_s=0.0, clear_s=120.0,
+                                  loss_rate=1.5e-3, mean_burst=1.0)
+        reports = harvest_evidence(
+            EvidenceSpec(flows_per_s=400.0, seed=4), topology, [truth],
+            0.0, 120.0)
+        with open(config.telemetry_file, "w") as handle:
+            for report in reports:
+                handle.write(report.to_json() + "\n")
+            handle.write("not a flow report\n")
+
+        async def scenario():
+            service = await _started(config)
+            try:
+                assert service.arbiter.evidence == "voting"
+                await service.wait_ingest_idle()
+                status, _, raw = await request(
+                    "127.0.0.1", service.port, "GET", "/state")
+                state = json.loads(raw)
+                assert status == 200
+                assert state["evidence"] == "voting"
+                assert state["counts"]["records_seen"] == len(reports)
+                status, _, raw = await request(
+                    "127.0.0.1", service.port, "GET", "/decisions")
+                decisions = json.loads(raw)["decisions"]
+                assert status == 200 and decisions
+                assert all(d["evidence"] == "voting" for d in decisions)
+                assert {d["link_id"] for d in decisions} == {5}
+                assert service._bad_lines == 1
+            finally:
+                await service.begin_drain()
+
+        asyncio.run(scenario())
+
+    def test_synthetic_flow_evidence_deterministic(self):
+        from repro.service.telemetry import flow_evidence_from_config
+
+        config = small_config(evidence="voting", telemetry="synthetic",
+                              synthetic_days=1.0, synthetic_records=500)
+        first = list(flow_evidence_from_config(config).reports())
+        second = list(flow_evidence_from_config(config).reports())
+        assert len(first) == 500
+        assert first == second
 
 
 class TestWhatIfCanonicalization:
